@@ -1,0 +1,90 @@
+// Command dcofig regenerates the paper's evaluation figures (Figs. 5–12)
+// as text tables.
+//
+// Usage:
+//
+//	dcofig -fig 8                 # one figure at paper scale (512 nodes)
+//	dcofig -all -n 128 -chunks 50 # every figure, scaled down
+//	dcofig -fig 6 -delta 8s       # Fig. 6 at a different measurement offset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dco/internal/experiment"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate (5..12); empty with -all runs everything")
+		all      = flag.Bool("all", false, "run every figure")
+		ablation = flag.String("ablation", "", "run one ablation (pending|selection|fingers|prefetch) or 'all'")
+		n        = flag.Int("n", 0, "network size (default: the paper's 512)")
+		chunks   = flag.Int64("chunks", 0, "stream length in chunks (default: paper's value per figure)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		horizon  = flag.Duration("horizon", 0, "simulation cutoff (default per figure)")
+		delta    = flag.Duration("delta", 0, "Fig. 6 only: fill-ratio measurement offset (default 2s)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	p := experiment.Params{N: *n, Chunks: *chunks, Seed: *seed, Horizon: *horizon}
+
+	run := func(id string) {
+		start := time.Now()
+		var r *experiment.Result
+		if id == "6" && *delta > 0 {
+			r = experiment.FillDelta(p, *delta)
+		} else {
+			f, ok := experiment.Figures[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcofig: unknown figure %q (valid: 5..12)\n", id)
+				os.Exit(2)
+			}
+			r = f(p)
+		}
+		if *csv {
+			r.FprintCSV(os.Stdout)
+		} else {
+			r.Fprint(os.Stdout)
+			fmt.Printf("(%s in %v)\n\n", r.Figure, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	runAblation := func(id string) {
+		f, ok := experiment.Ablations[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcofig: unknown ablation %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		r := f(p)
+		if *csv {
+			r.FprintCSV(os.Stdout)
+		} else {
+			r.Fprint(os.Stdout)
+			fmt.Printf("(%s in %v)\n\n", r.Figure, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	switch {
+	case *ablation == "all":
+		for _, id := range experiment.AblationOrder {
+			runAblation(id)
+		}
+	case *ablation != "":
+		runAblation(*ablation)
+	case *all:
+		for _, id := range experiment.FigureOrder {
+			run(id)
+		}
+	case *fig != "":
+		run(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,164 @@
+// Command dconode runs a live DCO node over real TCP: a stream source, or a
+// viewer that joins an existing ring and watches the channel.
+//
+// Start a source:
+//
+//	dconode -listen 127.0.0.1:7000 -source -chunks 100
+//
+// Join viewers (any ring member works as bootstrap):
+//
+//	dconode -listen 127.0.0.1:7001 -join 127.0.0.1:7000
+//	dconode -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Each node prints progress; Ctrl-C leaves the ring gracefully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"dco/internal/live"
+	"dco/internal/stream"
+	"dco/internal/transport"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		join      = flag.String("join", "", "bootstrap address of any ring member (omit for the first node)")
+		source    = flag.Bool("source", false, "act as the stream source")
+		channel   = flag.String("channel", "LIVE", "channel name")
+		chunks    = flag.Int64("chunks", 0, "stream length (0 = endless)")
+		chunkKB   = flag.Int64("chunk-kb", 64, "chunk size in KiB")
+		period    = flag.Duration("period", 500*time.Millisecond, "chunk period")
+		startSeq  = flag.Int64("start", 0, "first chunk to fetch (viewers)")
+		verbosity = flag.Int("v", 1, "0 = quiet, 1 = progress, 2 = per chunk")
+		out       = flag.String("out", "", "write received chunks, in order, to this file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	cfg := live.DefaultNodeConfig()
+	cfg.Source = *source
+	cfg.StartSeq = *startSeq
+	cfg.Channel = stream.Params{
+		Channel:   *channel,
+		ChunkBits: *chunkKB * 8 * 1024,
+		Period:    *period,
+		Count:     *chunks,
+	}
+
+	var sink *orderedSink
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dconode: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = newOrderedSink(w, *startSeq)
+	}
+	cfg.OnChunk = func(seq int64, data []byte) {
+		if *verbosity >= 2 {
+			fmt.Printf("chunk %d (%d bytes)\n", seq, len(data))
+		}
+		if sink != nil {
+			sink.put(seq, data)
+		}
+	}
+
+	node, err := live.NewNode(cfg, func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenTCP(*listen, h)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dconode: %v\n", err)
+		os.Exit(1)
+	}
+	role := "viewer"
+	if *source {
+		role = "source"
+	}
+	fmt.Printf("dconode %s listening on %s (ring id %s)\n", role, node.Addr(), node.ID())
+
+	if *join != "" {
+		if err := node.Join(*join); err != nil {
+			fmt.Fprintf(os.Stderr, "dconode: join %s: %v\n", *join, err)
+			os.Exit(1)
+		}
+		fmt.Printf("joined ring via %s\n", *join)
+	}
+	node.Start()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nleaving the ring gracefully…")
+			if err := node.Leave(); err != nil {
+				fmt.Fprintf(os.Stderr, "dconode: leave: %v\n", err)
+			}
+			return
+		case <-ticker.C:
+			if *verbosity >= 1 {
+				st := node.Stats()
+				_, succ := node.Successor()
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d succ=%s\n",
+					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
+					st.FetchRetries, st.BusyRejections, succ)
+			}
+			if *chunks > 0 && !*source && int64(node.ChunkCount()) >= *chunks {
+				fmt.Println("stream complete; leaving")
+				_ = node.Leave()
+				return
+			}
+		}
+	}
+}
+
+// orderedSink re-sequences chunks arriving out of order (parallel fetch
+// workers race) and writes a contiguous byte stream — what a media player
+// sitting behind the node would consume.
+type orderedSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int64
+	pending map[int64][]byte
+}
+
+func newOrderedSink(w io.Writer, start int64) *orderedSink {
+	return &orderedSink{w: w, next: start, pending: make(map[int64][]byte)}
+}
+
+func (s *orderedSink) put(seq int64, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.next {
+		return
+	}
+	s.pending[seq] = data
+	for {
+		d, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		if _, err := s.w.Write(d); err != nil {
+			fmt.Fprintf(os.Stderr, "dconode: sink: %v\n", err)
+			return
+		}
+		s.next++
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOrderedSinkReorders(t *testing.T) {
+	var buf bytes.Buffer
+	s := newOrderedSink(&buf, 0)
+	s.put(2, []byte("cc"))
+	s.put(0, []byte("aa"))
+	if buf.String() != "aa" {
+		t.Fatalf("premature write: %q", buf.String())
+	}
+	s.put(1, []byte("bb"))
+	if buf.String() != "aabbcc" {
+		t.Fatalf("out-of-order output: %q", buf.String())
+	}
+}
+
+func TestOrderedSinkIgnoresDuplicatesAndPast(t *testing.T) {
+	var buf bytes.Buffer
+	s := newOrderedSink(&buf, 5)
+	s.put(4, []byte("old")) // before the start sequence
+	s.put(5, []byte("x"))
+	s.put(5, []byte("dup")) // already flushed
+	s.put(6, []byte("y"))
+	if buf.String() != "xy" {
+		t.Fatalf("got %q, want %q", buf.String(), "xy")
+	}
+}
+
+func TestOrderedSinkStartOffset(t *testing.T) {
+	var buf bytes.Buffer
+	s := newOrderedSink(&buf, 10)
+	s.put(11, []byte("b"))
+	s.put(10, []byte("a"))
+	s.put(12, []byte("c"))
+	if buf.String() != "abc" {
+		t.Fatalf("offset stream wrong: %q", buf.String())
+	}
+}

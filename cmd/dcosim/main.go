@@ -1,0 +1,125 @@
+// Command dcosim runs one live-streaming simulation — DCO or a baseline —
+// and prints the paper's four metrics.
+//
+// Usage:
+//
+//	dcosim -method dco -n 512 -neighbors 32 -chunks 100
+//	dcosim -method pull -n 256 -neighbors 16
+//	dcosim -method dco -hierarchy -coordinators 16
+//	dcosim -method dco -churn -life 60s -horizon 300s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dco/internal/churn"
+	"dco/internal/core"
+	"dco/internal/metrics"
+	"dco/internal/overlay"
+	"dco/internal/sim"
+	"dco/internal/simnet"
+	"dco/internal/trace"
+)
+
+func main() {
+	var (
+		method    = flag.String("method", "dco", "dco | pull | push | tree")
+		n         = flag.Int("n", 512, "network size (server + viewers)")
+		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
+		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		horizon   = flag.Duration("horizon", 400*time.Second, "simulation cutoff")
+		doChurn   = flag.Bool("churn", false, "enable exponential churn")
+		life      = flag.Duration("life", 60*time.Second, "mean node lifetime under churn")
+		hier      = flag.Bool("hierarchy", false, "DCO only: two-tier mode")
+		coords    = flag.Int("coordinators", 8, "DCO hierarchy: initial coordinators")
+		fingers   = flag.Bool("fingers", false, "DCO only: Chord finger routing")
+		showTrace = flag.Bool("trace", false, "DCO only: print a protocol-event summary")
+	)
+	flag.Parse()
+
+	k := sim.NewKernel(*seed)
+	var (
+		log      *metrics.DeliveryLog
+		net      *simnet.Network
+		end      time.Duration
+		received int64
+	)
+
+	switch *method {
+	case "dco":
+		cfg := core.DefaultConfig()
+		cfg.Neighbors = *neighbors
+		cfg.Stream.Count = *chunks
+		cfg.UseFingers = *fingers
+		cfg.Maintenance = *doChurn
+		cfg.Hierarchy.Enabled = *hier
+		cfg.Hierarchy.InitialCoordinators = *coords
+		s := core.NewSystem(k, cfg, *n)
+		var rec *trace.Recorder
+		if *showTrace {
+			rec = trace.New(4096)
+			s.Trace = rec
+		}
+		if *doChurn {
+			s.DisableCompletionStop()
+			d := churn.NewDriver(k, churn.Config{MeanLife: *life, MeanJoin: *life / time.Duration(*n-1), GracefulFrac: 0.5},
+				func() churn.Peer { return s.SpawnPeer() })
+			for _, p := range s.Peers() {
+				if p.Alive() && p.ID() != s.Server().ID() {
+					d.Track(p)
+				}
+			}
+			d.StartArrivals()
+		}
+		end = s.Run(*horizon)
+		log, net, received = s.Log, s.Net, s.ReceivedTotal()
+		fmt.Printf("coordinators: %d  dropped-routes: %d\n", len(s.Coordinators()), s.DroppedRoutes())
+		if rec != nil {
+			fmt.Println("protocol events:")
+			rec.Summary(os.Stdout)
+		}
+	case "pull", "push", "tree":
+		kind := overlay.Pull
+		switch *method {
+		case "push":
+			kind = overlay.Push
+		case "tree":
+			kind = overlay.Tree
+		}
+		cfg := overlay.DefaultConfig(kind)
+		cfg.Neighbors = *neighbors
+		cfg.Stream.Count = *chunks
+		s := overlay.NewSystem(k, cfg, *n)
+		if *doChurn {
+			s.DisableCompletionStop()
+			d := churn.NewDriver(k, churn.Config{MeanLife: *life, MeanJoin: *life / time.Duration(*n-1), GracefulFrac: 0.5},
+				func() churn.Peer { return s.SpawnPeer() })
+			for _, nd := range s.ViewerPeers() {
+				d.Track(nd)
+			}
+			d.StartArrivals()
+		}
+		end = s.Run(*horizon)
+		log, net, received = s.Log, s.Net, s.ReceivedTotal()
+		fmt.Printf("duplicate chunks: %d\n", s.Duplicates())
+	default:
+		fmt.Fprintf(os.Stderr, "dcosim: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	mean, complete, total := log.MeshDelay()
+	dataMsgs, dataBits := net.DataStats()
+	fmt.Printf("method=%s n=%d neighbors=%d chunks=%d churn=%v\n", *method, *n, *neighbors, *chunks, *doChurn)
+	fmt.Printf("virtual end time:        %v\n", end)
+	fmt.Printf("chunk deliveries:        %d\n", received)
+	fmt.Printf("mesh delay (complete):   %v over %d/%d chunks\n", mean, complete, total)
+	fmt.Printf("fill ratio @2s:          %.3f\n", log.MeanFillRatioAfter(2*time.Second))
+	fmt.Printf("fill ratio @10s:         %.3f\n", log.MeanFillRatioAfter(10*time.Second))
+	fmt.Printf("extra overhead:          %d messages\n", net.Overhead())
+	fmt.Printf("chunk traffic:           %d transfers, %.1f Mbit\n", dataMsgs, float64(dataBits)/1e6)
+	fmt.Printf("%% received (at horizon): %.2f%%\n", log.ReceivedPercent(*horizon))
+}

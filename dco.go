@@ -1,0 +1,202 @@
+// Package dco is a from-scratch implementation and reproduction of
+// "A DHT-Aided Chunk-Driven Overlay for Scalable and Efficient Peer-to-Peer
+// Live Streaming" (Shen, Zhao, Li & Li, ICPP 2010).
+//
+// DCO organizes live-stream viewers around a Chord DHT: every chunk's index
+// (who holds it, with how much spare upload bandwidth) is stored at the
+// ring member owning the chunk's hashed name, so any viewer can locate a
+// provider for any chunk with one DHT lookup instead of gossiping buffer
+// maps with every neighbor.
+//
+// The package exposes three layers:
+//
+//   - a deterministic discrete-event simulator with DCO and the paper's
+//     three baselines (pull mesh, push mesh, tree) — see NewDCO,
+//     NewBaseline, and the experiment runners in RunFigure;
+//   - a real-network DCO node over TCP (NewLiveNode) speaking a compact
+//     binary wire protocol, reusing the same Chord state machine;
+//   - the substrates themselves (Chord ring math, chunk/buffer-map model,
+//     Cox longevity model, churn generators) for building new experiments.
+//
+// Everything is stdlib-only. Simulations are reproducible: one seed fixes
+// every random choice.
+package dco
+
+import (
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/churn"
+	"dco/internal/core"
+	"dco/internal/experiment"
+	"dco/internal/live"
+	"dco/internal/metrics"
+	"dco/internal/overlay"
+	"dco/internal/sim"
+	"dco/internal/stable"
+	"dco/internal/stream"
+	"dco/internal/transport"
+)
+
+// Simulation kernel.
+type (
+	// Kernel is the deterministic discrete-event engine every simulation
+	// runs on.
+	Kernel = sim.Kernel
+)
+
+// NewKernel returns a simulation kernel whose randomness derives entirely
+// from seed.
+func NewKernel(seed int64) *Kernel { return sim.NewKernel(seed) }
+
+// DCO system (the paper's contribution).
+type (
+	// Config parameterizes a simulated DCO deployment.
+	Config = core.Config
+	// System is a running simulated DCO network.
+	System = core.System
+	// Peer is one simulated DCO node.
+	Peer = core.Peer
+	// HierarchyConfig tunes the two-tier coordinator mode (§III-B1).
+	HierarchyConfig = core.HierarchyConfig
+)
+
+// Selection policies for coordinators handing out providers.
+const (
+	SelectLeastLoaded = core.SelectLeastLoaded
+	SelectRandom      = core.SelectRandom
+)
+
+// DefaultConfig returns the paper's §IV parameters (512-node scale).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDCO builds a static simulated DCO network of n nodes on k.
+func NewDCO(k *Kernel, cfg Config, n int) *System { return core.NewSystem(k, cfg, n) }
+
+// Baselines.
+type (
+	// BaselineKind selects pull, push, or tree.
+	BaselineKind = overlay.Kind
+	// BaselineConfig parameterizes a baseline overlay.
+	BaselineConfig = overlay.Config
+	// BaselineSystem is a running baseline simulation.
+	BaselineSystem = overlay.System
+)
+
+// The paper's three baseline overlays.
+const (
+	Pull = overlay.Pull
+	Push = overlay.Push
+	Tree = overlay.Tree
+)
+
+// DefaultBaselineConfig returns the paper's settings for the given kind.
+func DefaultBaselineConfig(kind BaselineKind) BaselineConfig { return overlay.DefaultConfig(kind) }
+
+// NewBaseline builds a static baseline overlay of n nodes on k.
+func NewBaseline(k *Kernel, cfg BaselineConfig, n int) *BaselineSystem {
+	return overlay.NewSystem(k, cfg, n)
+}
+
+// Stream model.
+type (
+	// StreamParams fixes a channel's chunk geometry.
+	StreamParams = stream.Params
+	// ChunkRef names one chunk (channel + sequence), per §III-A1.
+	ChunkRef = stream.ChunkRef
+	// BufferMap is the chunk-possession bitset nodes exchange and index.
+	BufferMap = stream.BufferMap
+	// PrefetchConfig is Eq. (2)'s adaptive prefetching window.
+	PrefetchConfig = stream.PrefetchConfig
+)
+
+// Metrics (the paper's four evaluation metrics).
+type (
+	// DeliveryLog records generations/receipts and derives mesh delay,
+	// fill ratio and received-percentage.
+	DeliveryLog = metrics.DeliveryLog
+)
+
+// Churn (§IV-D's exponential model).
+type (
+	// ChurnConfig sets mean lifetime, arrival interval and graceful rate.
+	ChurnConfig = churn.Config
+	// ChurnDriver schedules arrivals and departures on a kernel.
+	ChurnDriver = churn.Driver
+	// ChurnPeer is anything the driver can remove.
+	ChurnPeer = churn.Peer
+)
+
+// NewChurnDriver creates a churn driver on k; spawn creates a joined peer.
+func NewChurnDriver(k *Kernel, cfg ChurnConfig, spawn func() ChurnPeer) *ChurnDriver {
+	return churn.NewDriver(k, cfg, spawn)
+}
+
+// Stable-node identification (Eq. 1).
+type (
+	// LongevityModel is the Cox proportional-hazards model.
+	LongevityModel = stable.Model
+	// Covariates are Eq. (1)'s z vector.
+	Covariates = stable.Covariates
+)
+
+// Chord (the DHT substrate).
+type (
+	// ChordID is a point on the identifier circle.
+	ChordID = chord.ID
+)
+
+// HashChunkName maps a chunk name onto the identifier circle.
+func HashChunkName(name string) ChordID { return chord.HashString(name) }
+
+// Live (real-network) node.
+type (
+	// LiveConfig parameterizes a real DCO node.
+	LiveConfig = live.Config
+	// LiveNode is a runnable DCO participant over a Transport.
+	LiveNode = live.Node
+	// Transport moves wire messages (TCP or in-memory).
+	Transport = transport.Transport
+	// TransportHandler serves inbound wire requests.
+	TransportHandler = transport.Handler
+)
+
+// DefaultLiveConfig returns localhost-friendly live-node settings.
+func DefaultLiveConfig() LiveConfig { return live.DefaultNodeConfig() }
+
+// NewLiveNode creates a live DCO node; attach binds its handler to a
+// transport (use ListenTCP for real networking).
+func NewLiveNode(cfg LiveConfig, attach func(TransportHandler) (Transport, error)) (*LiveNode, error) {
+	return live.NewNode(cfg, attach)
+}
+
+// ListenTCP starts a TCP transport on addr serving h.
+func ListenTCP(addr string, h TransportHandler) (Transport, error) {
+	return transport.ListenTCP(addr, h)
+}
+
+// Experiments (the paper's figures).
+type (
+	// FigureParams scales an experiment run.
+	FigureParams = experiment.Params
+	// FigureResult is one regenerated table.
+	FigureResult = experiment.Result
+)
+
+// RunFigure regenerates one of the paper's figures ("5".."12").
+func RunFigure(id string, p FigureParams) (*FigureResult, bool) {
+	f, ok := experiment.Figures[id]
+	if !ok {
+		return nil, false
+	}
+	return f(p), true
+}
+
+// FigureIDs lists the reproducible figures in paper order.
+func FigureIDs() []string { return append([]string(nil), experiment.FigureOrder...) }
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// DefaultHorizon is a safe simulation cutoff for paper-scale runs.
+const DefaultHorizon = 400 * time.Second

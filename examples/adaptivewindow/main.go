@@ -1,0 +1,59 @@
+// Adaptivewindow: demonstrate Eq. (2), the adaptive prefetching window
+//
+//	W_pf = W · B / (b · (1 − p_f))
+//
+// across download bandwidths and observed failure probabilities, then show
+// the failure tracker adapting a live node's window as conditions change.
+//
+// Run with:
+//
+//	go run ./examples/adaptivewindow
+package main
+
+import (
+	"fmt"
+
+	"dco/internal/stream"
+)
+
+func main() {
+	cfg := stream.DefaultPrefetchConfig()
+	fmt.Printf("base window W=%d chunks, network average B=%d kbps\n\n",
+		cfg.BaseWindow, cfg.AvgBandwidthBps/1000)
+
+	fmt.Println("window size by node bandwidth and failure probability (Eq. 2):")
+	fmt.Printf("%12s", "down kbps")
+	probs := []float64{0, 0.1, 0.25, 0.5}
+	for _, p := range probs {
+		fmt.Printf("  p_f=%.2f", p)
+	}
+	fmt.Println()
+	for _, bw := range []int64{300_000, 600_000, 1_200_000, 2_400_000} {
+		fmt.Printf("%12d", bw/1000)
+		for _, p := range probs {
+			fmt.Printf("%9d", cfg.Window(bw, p))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nslower and failure-prone nodes prefetch further ahead, hiding both")
+	fmt.Println("the DHT's log n lookup latency and provider-switch stalls (§III-B2).")
+
+	// A node's view over time: the EWMA failure tracker reacts to a burst
+	// of provider failures and then recovers.
+	fmt.Println("\nlive adaptation for a 600 kbps node:")
+	ft := stream.NewFailureTracker(0.1)
+	phase := func(name string, fails int, oks int) {
+		for i := 0; i < fails; i++ {
+			ft.Record(true)
+		}
+		for i := 0; i < oks; i++ {
+			ft.Record(false)
+		}
+		fmt.Printf("  %-28s p_f=%.3f  window=%d chunks\n", name, ft.Prob(), cfg.Window(600_000, ft.Prob()))
+	}
+	phase("steady streaming (20 ok)", 0, 20)
+	phase("provider churn (6 failures)", 6, 0)
+	phase("recovery (10 ok)", 0, 10)
+	phase("long quiet period (40 ok)", 0, 40)
+}

@@ -1,0 +1,73 @@
+// Quickstart: simulate a small live-streaming session with DCO and with the
+// pull-mesh baseline, then print the paper's four metrics side by side.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dco/internal/core"
+	"dco/internal/metrics"
+	"dco/internal/overlay"
+	"dco/internal/sim"
+	"dco/internal/simnet"
+)
+
+const (
+	nodes     = 64
+	chunks    = 30
+	neighbors = 16
+	horizon   = 200 * time.Second
+)
+
+func main() {
+	fmt.Printf("DCO quickstart: %d nodes watch a %d-chunk live channel (%d neighbors)\n\n",
+		nodes, chunks, neighbors)
+
+	type outcome struct {
+		name string
+		log  *metrics.DeliveryLog
+		net  *simnet.Network
+		end  time.Duration
+	}
+	var results []outcome
+
+	// DCO: every node joins the Chord ring; lookups find providers
+	// system-wide.
+	{
+		cfg := core.DefaultConfig()
+		cfg.Neighbors = neighbors
+		cfg.Stream.Count = chunks
+		k := sim.NewKernel(1)
+		s := core.NewSystem(k, cfg, nodes)
+		end := s.Run(horizon)
+		results = append(results, outcome{"dco", s.Log, s.Net, end})
+	}
+
+	// Pull mesh: the strongest baseline.
+	{
+		cfg := overlay.DefaultConfig(overlay.Pull)
+		cfg.Neighbors = neighbors
+		cfg.Stream.Count = chunks
+		k := sim.NewKernel(1)
+		s := overlay.NewSystem(k, cfg, nodes)
+		end := s.Run(horizon)
+		results = append(results, outcome{"pull", s.Log, s.Net, end})
+	}
+
+	fmt.Printf("%-6s %14s %12s %12s %14s\n", "method", "mesh delay", "fill@2s", "fill@10s", "overhead msgs")
+	for _, r := range results {
+		delay, complete, total := r.log.MeshDelay()
+		fmt.Printf("%-6s %14v %12.3f %12.3f %14d   (%d/%d chunks complete, done at t=%v)\n",
+			r.name, delay.Round(10*time.Millisecond),
+			r.log.MeanFillRatioAfter(2*time.Second),
+			r.log.MeanFillRatioAfter(10*time.Second),
+			r.net.Overhead(), complete, total, r.end.Round(time.Second))
+	}
+	fmt.Println("\nDCO reaches full dissemination with a fraction of the control traffic:")
+	fmt.Println("the DHT lookup replaces per-neighbor buffer-map gossip (paper §IV).")
+}

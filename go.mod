@@ -1,0 +1,3 @@
+module dco
+
+go 1.22

@@ -1,0 +1,70 @@
+// Package chord implements the Chord DHT (Stoica et al.) as a pure state
+// machine with no I/O: identifier-ring arithmetic, finger tables, successor
+// lists, and the join/stabilize/fix-fingers maintenance steps.
+//
+// The paper (§III-A2) builds DCO directly on Chord's two functions,
+// Insert(ID, object) and Lookup(ID), and on its key-ownership rule: an
+// object is stored at the node whose ID equals or immediately succeeds the
+// object's ID. Both the discrete-event simulation (internal/core) and the
+// real-network node (internal/live) drive this package; only the message
+// plumbing differs between them.
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// M is the number of bits in the identifier space. Chord's guarantees are
+// independent of M as long as collisions are rare; 64 bits keeps IDs in a
+// machine word.
+const M = 64
+
+// ID is a point on the Chord identifier circle of size 2^M.
+type ID uint64
+
+// HashBytes maps arbitrary bytes onto the identifier circle using the first
+// 8 bytes of their SHA-1 digest (consistent hashing, per the paper §III-A2).
+func HashBytes(b []byte) ID {
+	sum := sha1.Sum(b)
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString maps a string (a chunk name such as "CNN0240", or a node
+// address) onto the identifier circle.
+func HashString(s string) ID { return HashBytes([]byte(s)) }
+
+// String renders the ID as fixed-width hex.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// InOO reports whether x lies in the open interval (a, b) on the circle.
+// If a == b the interval is the whole circle minus the point a.
+func InOO(a, x, b ID) bool {
+	if a < b {
+		return a < x && x < b
+	}
+	return a < x || x < b
+}
+
+// InOC reports whether x lies in the half-open interval (a, b] on the
+// circle. This is Chord's ownership test: node n owns key k iff
+// InOC(predecessor(n), k, n).
+func InOC(a, x, b ID) bool {
+	if a == b {
+		return true // single-node ring owns everything
+	}
+	if a < b {
+		return a < x && x <= b
+	}
+	return a < x || x <= b
+}
+
+// FingerStart returns the i-th finger origin for node n: n + 2^i (mod 2^M),
+// for i in [0, M).
+func FingerStart(n ID, i int) ID {
+	return n + ID(1)<<uint(i) // uint64 addition wraps mod 2^64 by definition
+}
+
+// Dist returns the clockwise distance from a to b on the circle.
+func Dist(a, b ID) ID { return b - a } // modular subtraction

@@ -1,0 +1,130 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInOOBasic(t *testing.T) {
+	cases := []struct {
+		a, x, b ID
+		want    bool
+	}{
+		{1, 5, 10, true},
+		{1, 1, 10, false},
+		{1, 10, 10, false},
+		{10, 5, 1, false},    // wrapped interval (10,1): 5 outside
+		{10, 11, 1, true},    // wrapped: just after a
+		{10, 0, 1, true},     // wrapped: just before b
+		{5, 5, 5, false},     // full circle minus the point a
+		{5, 6, 5, true},      // full circle contains everything else
+		{^ID(0), 0, 1, true}, // wrapped arc (max, 1) contains 0
+	}
+	for _, c := range cases {
+		if got := InOO(c.a, c.x, c.b); got != c.want {
+			t.Errorf("InOO(%d,%d,%d) = %v, want %v", c.a, c.x, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInOCBasic(t *testing.T) {
+	cases := []struct {
+		a, x, b ID
+		want    bool
+	}{
+		{1, 5, 10, true},
+		{1, 10, 10, true}, // inclusive at b
+		{1, 1, 10, false},
+		{10, 1, 1, true}, // wrapped, x == b
+		{10, 10, 1, false},
+		{5, 123, 5, true}, // a == b: single-node ring owns everything
+	}
+	for _, c := range cases {
+		if got := InOC(c.a, c.x, c.b); got != c.want {
+			t.Errorf("InOC(%d,%d,%d) = %v, want %v", c.a, c.x, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: for distinct a, b, every x is in exactly one of (a,b] and (b,a].
+func TestIntervalPartitionProperty(t *testing.T) {
+	f := func(a, x, b uint64) bool {
+		if a == b {
+			return true
+		}
+		in1 := InOC(ID(a), ID(x), ID(b))
+		in2 := InOC(ID(b), ID(x), ID(a))
+		return in1 != in2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InOO(a,x,b) implies InOC(a,x,b).
+func TestOpenImpliesHalfOpenProperty(t *testing.T) {
+	f := func(a, x, b uint64) bool {
+		if InOO(ID(a), ID(x), ID(b)) {
+			return InOC(ID(a), ID(x), ID(b))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerStartWraps(t *testing.T) {
+	n := ID(^uint64(0) - 2) // near the top of the circle
+	if got := FingerStart(n, 2); got != ID(1) {
+		t.Errorf("FingerStart wrap: got %d, want 1", uint64(got))
+	}
+	if got := FingerStart(0, 63); got != ID(1)<<63 {
+		t.Errorf("FingerStart(0,63) = %x", uint64(got))
+	}
+}
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if HashString("CNN0001") != HashString("CNN0001") {
+		t.Fatal("hash not deterministic")
+	}
+	if HashString("CNN0001") == HashString("CNN0002") {
+		t.Fatal("adjacent chunk names collide")
+	}
+	// Rough uniformity: across 4096 names, the top bit should be set about
+	// half the time.
+	top := 0
+	for i := 0; i < 4096; i++ {
+		if HashString(string(rune('a'+i%26))+string(rune('0'+i%10))+fmtInt(i))>>63 == 1 {
+			top++
+		}
+	}
+	if top < 1638 || top > 2458 { // 40%..60%
+		t.Errorf("top-bit frequency %d/4096 suggests a broken hash", top)
+	}
+}
+
+func fmtInt(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// Property: Dist is the additive inverse of FingerStart-style offsets:
+// Dist(a, a+d) == d for all a, d.
+func TestDistProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, d := ID(rng.Uint64()), ID(rng.Uint64())
+		if Dist(a, a+d) != d {
+			t.Fatalf("Dist(%d, %d+%d) != %d", a, a, d, d)
+		}
+	}
+}

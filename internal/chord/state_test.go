@@ -1,0 +1,278 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func e(id ID, addr int) Entry[int] { return Entry[int]{ID: id, Addr: addr, OK: true} }
+
+func TestNewStateSingleton(t *testing.T) {
+	s := NewState(e(100, 1), 4)
+	if got := s.Successor(); got.Addr != 1 {
+		t.Fatalf("lone node's successor = %v, want itself", got)
+	}
+	if !s.OwnsKey(0) || !s.OwnsKey(^ID(0)) {
+		t.Fatal("lone node must own the whole circle")
+	}
+	hop, done := s.NextHop(12345)
+	if !done || hop.Addr != 1 {
+		t.Fatalf("lone node routes to itself, got %v done=%v", hop, done)
+	}
+}
+
+func TestNotifyAdoptsCloserPredecessor(t *testing.T) {
+	s := NewState(e(100, 1), 4)
+	if !s.Notify(e(40, 2)) {
+		t.Fatal("first notify should adopt")
+	}
+	if !s.Notify(e(90, 3)) {
+		t.Fatal("closer candidate (90 in (40,100)) should be adopted")
+	}
+	if s.Notify(e(20, 4)) {
+		t.Fatal("farther candidate (20 not in (90,100)) must be rejected")
+	}
+	if s.Notify(s.Self) {
+		t.Fatal("self-notify must be ignored")
+	}
+	if p := s.Predecessor(); p.Addr != 3 {
+		t.Fatalf("predecessor = %v, want node 3", p)
+	}
+}
+
+func TestOwnsKeyWithPredecessor(t *testing.T) {
+	s := NewState(e(100, 1), 4)
+	s.SetPredecessor(e(50, 2))
+	for _, c := range []struct {
+		k    ID
+		want bool
+	}{{51, true}, {100, true}, {50, false}, {101, false}, {0, false}} {
+		if got := s.OwnsKey(c.k); got != c.want {
+			t.Errorf("OwnsKey(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestSetSuccessorDedupes(t *testing.T) {
+	s := NewState(e(100, 1), 3)
+	s.SetSuccessor(e(200, 2))
+	s.SetSuccessor(e(150, 3))
+	s.SetSuccessor(e(150, 3)) // duplicate: no-op
+	list := s.SuccessorList()
+	if len(list) != 2 || list[0].Addr != 3 || list[1].Addr != 2 {
+		t.Fatalf("successor list = %v", list)
+	}
+}
+
+func TestAdoptSuccessorListTruncates(t *testing.T) {
+	s := NewState(e(0, 1), 3)
+	s.AdoptSuccessorList(e(10, 2), []Entry[int]{e(20, 3), e(30, 4), e(40, 5), e(50, 6)})
+	list := s.SuccessorList()
+	if len(list) != 3 {
+		t.Fatalf("list should be capped at 3, got %d", len(list))
+	}
+	if list[0].Addr != 2 || list[1].Addr != 3 || list[2].Addr != 4 {
+		t.Fatalf("unexpected list %v", list)
+	}
+}
+
+func TestAdoptSuccessorListSkipsSelf(t *testing.T) {
+	s := NewState(e(0, 1), 3)
+	s.AdoptSuccessorList(e(10, 2), []Entry[int]{e(0, 1), e(30, 4)})
+	for i, en := range s.SuccessorList() {
+		if i > 0 && en.Addr == 1 {
+			t.Fatalf("self leaked into successor list: %v", s.SuccessorList())
+		}
+	}
+}
+
+func TestRemoveFailed(t *testing.T) {
+	s := NewState(e(0, 1), 3)
+	s.AdoptSuccessorList(e(10, 2), []Entry[int]{e(20, 3), e(30, 4)})
+	s.SetPredecessor(e(90, 4))
+	s.SetFinger(5, e(10, 2))
+
+	if changed := s.RemoveFailed(2); !changed {
+		t.Fatal("removing the immediate successor must report a change")
+	}
+	if got := s.Successor(); got.Addr != 3 {
+		t.Fatalf("successor after removal = %v, want node 3", got)
+	}
+	if f := s.Finger(5); f.OK {
+		t.Fatal("finger pointing at the failed node must be cleared")
+	}
+	if changed := s.RemoveFailed(4); changed {
+		t.Fatal("removing a non-successor must not report a successor change")
+	}
+	if s.Predecessor().OK {
+		t.Fatal("failed predecessor must be cleared")
+	}
+	// Removing everything leaves the node pointing at itself.
+	s.RemoveFailed(3)
+	if got := s.Successor(); got.Addr != 1 {
+		t.Fatalf("empty list should fall back to self, got %v", got)
+	}
+}
+
+func TestNextHopForwardsToCloserNode(t *testing.T) {
+	s := NewState(e(0, 1), 2)
+	s.SetPredecessor(e(900, 9))
+	s.AdoptSuccessorList(e(100, 2), []Entry[int]{e(200, 3)})
+	s.SetFinger(9, e(512, 4)) // long-range finger
+
+	// Key owned by us.
+	if hop, done := s.NextHop(950); !done || hop.Addr != 1 {
+		t.Fatalf("key in (pred,self] must terminate here, got %v %v", hop, done)
+	}
+	// Key owned by the successor.
+	if hop, done := s.NextHop(50); !done || hop.Addr != 2 {
+		t.Fatalf("key in (self,succ] must route to successor, got %v %v", hop, done)
+	}
+	// Distant key: with fingers, the long finger wins.
+	if hop, done := s.NextHop(600); done || hop.Addr != 4 {
+		t.Fatalf("distant key should use finger, got %v done=%v", hop, done)
+	}
+	// Without fingers, the farthest successor-list entry preceding the key.
+	if hop, done := s.NextHopUsing(600, false); done || hop.Addr != 3 {
+		t.Fatalf("succ-list routing should pick node 3, got %v done=%v", hop, done)
+	}
+}
+
+func TestNeighborsDistinct(t *testing.T) {
+	s := NewState(e(0, 1), 4)
+	s.AdoptSuccessorList(e(10, 2), []Entry[int]{e(20, 3)})
+	s.SetPredecessor(e(90, 4))
+	s.SetFinger(3, e(10, 2)) // duplicate of successor
+	s.SetFinger(7, e(50, 5))
+	n := s.Neighbors()
+	seen := map[int]bool{}
+	for _, en := range n {
+		if seen[en.Addr] || en.Addr == 1 {
+			t.Fatalf("neighbors not distinct or contains self: %v", n)
+		}
+		seen[en.Addr] = true
+	}
+	if len(n) != 4 {
+		t.Fatalf("expected 4 distinct neighbors, got %v", n)
+	}
+}
+
+// Property: greedy succ-list-only routing on a converged ring always makes
+// clockwise progress and terminates at the key's true owner.
+func TestRingRoutingTerminatesAtOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + rng.Intn(64)
+		members := make([]Entry[int], n)
+		used := map[ID]bool{}
+		for i := range members {
+			id := ID(rng.Uint64())
+			for used[id] {
+				id = ID(rng.Uint64())
+			}
+			used[id] = true
+			members[i] = e(id, i)
+		}
+		states := BuildRing(members, 8)
+		if problems := CheckRing(states); len(problems) > 0 {
+			t.Fatalf("BuildRing inconsistent: %v", problems)
+		}
+
+		// The true owner of k is the member with the first ID >= k.
+		owner := func(k ID) int {
+			best, bestDist := -1, ^ID(0)
+			for _, m := range members {
+				d := Dist(k, m.ID)
+				if best == -1 || d < bestDist {
+					best, bestDist = m.Addr, d
+				}
+			}
+			return best
+		}
+
+		for q := 0; q < 50; q++ {
+			k := ID(rng.Uint64())
+			cur := members[rng.Intn(n)].Addr
+			hops := 0
+			for {
+				if hops > 2*n {
+					t.Fatalf("routing for key %v did not terminate", k)
+				}
+				st := states[cur]
+				hop, done := st.NextHopUsing(k, false)
+				if done && hop.Addr == cur {
+					break
+				}
+				cur = hop.Addr
+				hops++
+				if done {
+					// hop owns the key; one more iteration confirms.
+					continue
+				}
+			}
+			if want := owner(k); cur != want {
+				t.Fatalf("key %v routed to %d, true owner %d", k, cur, want)
+			}
+		}
+	}
+}
+
+// Property: with finger tables, routing hop counts stay O(log n).
+func TestFingerRoutingLogHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 512
+	members := make([]Entry[int], n)
+	used := map[ID]bool{}
+	for i := range members {
+		id := ID(rng.Uint64())
+		for used[id] {
+			id = ID(rng.Uint64())
+		}
+		used[id] = true
+		members[i] = e(id, i)
+	}
+	states := BuildRing(members, 8)
+	maxHops := 0
+	for q := 0; q < 500; q++ {
+		k := ID(rng.Uint64())
+		cur := members[rng.Intn(n)].Addr
+		hops := 0
+		for {
+			st := states[cur]
+			hop, done := st.NextHop(k)
+			if done && hop.Addr == cur {
+				break
+			}
+			cur = hop.Addr
+			hops++
+			if hops > 64 {
+				t.Fatalf("excessive hops for key %v", k)
+			}
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	// log2(512) = 9; allow slack for the tail of the distribution.
+	if maxHops > 16 {
+		t.Fatalf("max hops %d exceeds O(log n) expectation for n=512", maxHops)
+	}
+}
+
+func TestNextFingerToFixCycles(t *testing.T) {
+	s := NewState(e(0, 1), 2)
+	seen := map[int]bool{}
+	for i := 0; i < M; i++ {
+		idx, start := s.NextFingerToFix()
+		if seen[idx] {
+			t.Fatalf("finger index %d repeated before a full cycle", idx)
+		}
+		seen[idx] = true
+		if start != FingerStart(0, idx) {
+			t.Fatalf("wrong start for finger %d", idx)
+		}
+	}
+	if idx, _ := s.NextFingerToFix(); idx != 0 {
+		t.Fatalf("cursor should wrap to 0, got %d", idx)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/churn"
+	"dco/internal/simnet"
+)
+
+// TestChurnRingHeals drives heavy churn (mean life 60 s, stationary
+// arrivals) and asserts both delivery and ring-repair health: the paper's
+// claim that DCO keeps chunk availability through node dynamics.
+func TestChurnRingHeals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stream.Count = 100
+	cfg.Neighbors = 16
+	cfg.Maintenance = true
+	k := newKernelForTest()
+	s := NewSystem(k, cfg, 128)
+	s.DisableCompletionStop()
+	d := churn.NewDriver(k, churn.Config{MeanLife: 60 * time.Second, MeanJoin: 60 * time.Second / 127, GracefulFrac: 0.5},
+		func() churn.Peer { return s.SpawnPeer() })
+	for _, p := range s.Peers() {
+		if p.Alive() && p.ID() != s.Server().ID() {
+			d.Track(p)
+		}
+	}
+	d.StartArrivals()
+	s.Run(200 * time.Second)
+
+	if pct := s.Log.ReceivedPercent(200 * time.Second); pct < 75 {
+		t.Fatalf("delivery under churn %.2f%%, want >= 75%%", pct)
+	}
+	// Ring health: most live ring members point at a live successor.
+	deadSucc, joined := 0, 0
+	for _, p := range s.Peers() {
+		if !p.alive || !p.joined || !p.inDHT {
+			continue
+		}
+		joined++
+		succ := p.cs.Successor()
+		if succ.Addr != p.id {
+			if q := s.Peer(succ.Addr); q == nil || !q.alive {
+				deadSucc++
+			}
+		}
+	}
+	if joined == 0 || deadSucc > joined/4 {
+		t.Fatalf("ring unhealthy: %d/%d members have dead successors", deadSucc, joined)
+	}
+	if s.Net.DroppedDead() == 0 {
+		t.Fatal("suspicious: churn run without any message loss")
+	}
+	_ = simnet.Invalid
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/simnet"
+)
+
+// Message kinds on the simulated wire. Each Send of one of these counts as
+// one unit of "extra overhead" (paper metric 3); only kChunk is a data
+// message and exempt.
+const (
+	kLookup     = "dco.lookup"      // routed Lookup(ID) for a chunk provider
+	kLookupResp = "dco.lookup.resp" // coordinator -> requester
+	kInsert     = "dco.insert"      // routed Insert(ID, index) / unregister
+	kGet        = "dco.get"         // requester -> provider chunk request
+	kGetNack    = "dco.get.nack"    // provider lacks the chunk
+	kChunk      = "dco.chunk"       // provider -> requester (data)
+	kFail       = "dco.fail"        // requester -> coordinator: provider failed
+	kFind       = "dco.find"        // routed owner discovery (join, fix-fingers)
+	kFindResp   = "dco.find.resp"
+	kBootstrap  = "dco.bootstrap"      // newcomer -> server
+	kBootstrapR = "dco.bootstrap.resp" // server -> newcomer: a coordinator to use
+	kStabQ      = "dco.stab.q"         // stabilization probe to successor
+	kStabR      = "dco.stab.r"
+	kPredQ      = "dco.pred.q" // check_predecessor probe
+	kPredR      = "dco.pred.r"
+	kNotify     = "dco.notify"
+	kHandoff    = "dco.handoff" // index-entry transfer (leave, join, notify)
+	kLeave      = "dco.leave"   // graceful DHT departure notice
+
+	// Hierarchical lower tier (§III-B1b).
+	kAttach      = "dco.attach"       // client -> coordinator: become my upper-tier contact
+	kAttachOK    = "dco.attach.ok"    //
+	kProxyLookup = "dco.proxy.lookup" // client -> coordinator -> DHT
+	kProxyInsert = "dco.proxy.insert"
+	kDetach      = "dco.detach"    // client leaves its coordinator
+	kVolunteer   = "dco.volunteer" // stable client offers to join the DHT
+	kPromote     = "dco.promote"   // overloaded coordinator accepts the offer
+	kRedirect    = "dco.redirect"  // departing coordinator points clients elsewhere
+)
+
+type entry = chord.Entry[simnet.NodeID]
+
+// ChunkIndex is one row of a coordinator's index table (paper Fig. 3): the
+// chunk's holder, the holder's buffer-map summary and its bandwidth.
+type ChunkIndex struct {
+	Holder      simnet.NodeID
+	UpBps       int64
+	BufferCount int // holder's buffer-map population at insert time
+}
+
+type lookupMsg struct {
+	Key    chord.ID
+	Seq    int64
+	Origin simnet.NodeID
+	Hops   int
+}
+
+type lookupResp struct {
+	Seq      int64
+	Provider simnet.NodeID
+	Coord    simnet.NodeID // who answered, for failure notices
+	OK       bool
+	Queued   bool // no provider yet; the coordinator holds the request
+}
+
+type insertMsg struct {
+	Key        chord.ID
+	Seq        int64
+	Index      ChunkIndex
+	Unregister bool
+	Hops       int
+}
+
+type getMsg struct {
+	Seq  int64
+	From simnet.NodeID
+}
+
+type getNack struct {
+	Seq  int64
+	Busy bool // provider alive but uplink saturated; do not evict it
+}
+
+type chunkMsg struct{ Seq int64 }
+
+type failMsg struct {
+	Seq      int64
+	Provider simnet.NodeID
+	Origin   simnet.NodeID
+	Busy     bool // overload report, not a death report
+}
+
+type findMsg struct {
+	Key    chord.ID
+	Origin simnet.NodeID
+	Tag    int64 // >=0: finger index; tagJoin: a join
+	Hops   int
+}
+
+type findResp struct {
+	Tag   int64
+	Owner entry
+	Succs []entry
+	Pred  entry
+}
+
+const tagJoin = int64(-1)
+
+type bootstrapResp struct {
+	Coordinator entry
+}
+
+type stabQ struct{ From entry }
+
+type stabR struct {
+	Pred entry
+	List []entry
+}
+
+type notifyMsg struct{ From entry }
+
+type handoffEntry struct {
+	Seq       int64
+	Key       chord.ID
+	Providers []ChunkIndex
+	Pending   []simnet.NodeID
+}
+
+type handoffMsg struct{ Entries []handoffEntry }
+
+type leaveMsg struct {
+	From    entry
+	NewPred entry   // set when sent to the successor
+	NewSucc []entry // set when sent to the predecessor
+}
+
+type attachMsg struct{ From simnet.NodeID }
+
+type proxyLookup struct {
+	Seq    int64
+	Origin simnet.NodeID
+}
+
+type proxyInsert struct {
+	Seq        int64
+	Index      ChunkIndex
+	Unregister bool
+}
+
+type volunteerMsg struct {
+	From      entry
+	Longevity float64
+}
+
+type promoteMsg struct {
+	Sponsor entry // the coordinator the newcomer should join through
+}
+
+type redirectMsg struct {
+	Coordinators []entry
+}
+
+// fetchPhase tracks a client-side fetch state machine.
+type fetchPhase int
+
+const (
+	phaseLookup fetchPhase = iota // waiting for a lookupResp
+	phaseGet                      // waiting for the chunk from a provider
+)
+
+// fetch is one in-flight chunk acquisition.
+type fetch struct {
+	seq       int64
+	phase     fetchPhase
+	provider  simnet.NodeID
+	coord     simnet.NodeID
+	attempts  int
+	ntimeouts int // provider timeouts on this fetch; first is treated as congestion
+	started   time.Duration
+	timeout   interface{ Cancel() }
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeDissemination is the basic sanity check: a small static DCO
+// network delivers every chunk to every viewer.
+func TestSmokeDissemination(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stream.Count = 10
+	cfg.Neighbors = 8
+	k := newKernelForTest()
+	s := NewSystem(k, cfg, 32)
+	end := s.Run(120 * time.Second)
+
+	if got, want := s.ReceivedTotal(), int64(31*10); got != want {
+		t.Fatalf("received %d chunk deliveries, want %d (ended at %v, overhead %d, dropped %d)",
+			got, want, end, s.Net.Overhead(), s.DroppedRoutes())
+	}
+	mean, complete, total := s.Log.MeshDelay()
+	t.Logf("end=%v meshDelay=%v complete=%d/%d overhead=%d", end, mean, complete, total, s.Net.Overhead())
+	if complete != total {
+		t.Fatalf("only %d/%d chunks reached everyone", complete, total)
+	}
+}

@@ -1,0 +1,5 @@
+package core
+
+import "dco/internal/sim"
+
+func newKernelForTest() *sim.Kernel { return sim.NewKernel(42) }

@@ -1,0 +1,287 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§IV, Figs. 5–12). Each figure has a Config describing the
+// sweep and a Run function producing a Result whose rows mirror the
+// paper's plotted series.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"dco/internal/churn"
+	"dco/internal/core"
+	"dco/internal/metrics"
+	"dco/internal/overlay"
+	"dco/internal/sim"
+)
+
+// Method identifies one plotted series.
+type Method string
+
+// The paper's four (five, with tree*) methods.
+const (
+	MethodDCO   Method = "dco"
+	MethodPull  Method = "pull"
+	MethodPush  Method = "push"
+	MethodTree  Method = "tree"  // out-degree = neighbors/8 (default 3)
+	MethodTreeX Method = "tree*" // out-degree = full neighbor count
+)
+
+// AllMethods is the default series set for the sweeps.
+var AllMethods = []Method{MethodDCO, MethodPull, MethodPush, MethodTree}
+
+// Params scales an experiment. Zero values take the paper's defaults; tests
+// and benchmarks shrink N / Chunks for speed.
+type Params struct {
+	N       int           // network size (paper: 512)
+	Chunks  int64         // stream length (paper: 100; churn figs: 200)
+	Seed    int64         // kernel seed
+	Horizon time.Duration // simulation cutoff
+}
+
+func (p *Params) fill(defN int, defChunks int64, defHorizon time.Duration) {
+	if p.N == 0 {
+		p.N = defN
+	}
+	if p.Chunks == 0 {
+		p.Chunks = defChunks
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Horizon == 0 {
+		p.Horizon = defHorizon
+	}
+}
+
+// Result is one figure's data: a named x-axis and one row per x value with
+// a y value per series.
+type Result struct {
+	Figure string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Method
+	Rows   []Row
+}
+
+// Row is one x position.
+type Row struct {
+	X float64
+	Y map[Method]float64
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", r.Figure, r.Title)
+	fmt.Fprintf(w, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%14s", string(s))
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12.5g", row.X)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "%14.4g", row.Y[s])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders the table.
+func (r *Result) String() string {
+	var b strings.Builder
+	r.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV renders the result as CSV (header row, then one row per x),
+// for plotting outside this repository.
+func (r *Result) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "%s", csvEscape(r.XLabel))
+	for _, s := range r.Series {
+		fmt.Fprintf(w, ",%s", csvEscape(string(s)))
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%g", row.X)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, ",%g", row.Y[s])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// sortRows keeps rows in x order regardless of completion order.
+func (r *Result) sortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i].X < r.Rows[j].X })
+}
+
+// runOutcome carries everything a figure needs from one simulation run.
+type runOutcome struct {
+	Log              *metrics.DeliveryLog
+	Overhead         uint64
+	OverheadAtSecond func(int64) uint64
+	End              time.Duration
+	Horizon          time.Duration
+}
+
+// runStatic executes one static (churn-free) run of the given method.
+func runStatic(method Method, neighbors, n int, chunks int64, seed int64, horizon time.Duration) runOutcome {
+	k := sim.NewKernel(seed)
+	switch method {
+	case MethodDCO:
+		cfg := core.DefaultConfig()
+		cfg.Neighbors = neighbors
+		cfg.Stream.Count = chunks
+		s := core.NewSystem(k, cfg, n)
+		end := s.Run(horizon)
+		return runOutcome{Log: s.Log, Overhead: s.Net.Overhead(), OverheadAtSecond: s.Net.OverheadAtSecond, End: end, Horizon: horizon}
+	case MethodPull, MethodPush, MethodTree, MethodTreeX:
+		kind := overlay.Pull
+		deg := neighbors
+		switch method {
+		case MethodPush:
+			kind = overlay.Push
+		case MethodTree:
+			kind = overlay.Tree
+			deg = treeDegree(neighbors)
+		case MethodTreeX:
+			kind = overlay.Tree
+		}
+		cfg := overlay.DefaultConfig(kind)
+		cfg.Neighbors = deg
+		cfg.Stream.Count = chunks
+		s := overlay.NewSystem(k, cfg, n)
+		end := s.Run(horizon)
+		return runOutcome{Log: s.Log, Overhead: s.Net.Overhead(), OverheadAtSecond: s.Net.OverheadAtSecond, End: end, Horizon: horizon}
+	default:
+		panic("experiment: unknown method " + string(method))
+	}
+}
+
+// treeDegree maps a mesh neighbor count to the paper's tree out-degree
+// (1/8 of the neighbor count, minimum 1; the default 24-neighbor setting
+// yields the paper's default of 3).
+func treeDegree(neighbors int) int {
+	d := neighbors / 8
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// meshDelayCapped is Fig. 5's y value: the mean time for a chunk to reach
+// every node, charging chunks that never completed the full horizon (the
+// paper's "very high delay" regime, rendered finite).
+func meshDelayCapped(o runOutcome) float64 {
+	log := o.Log
+	var sum float64
+	var n int
+	for seq := int64(0); seq < log.NumChunks(); seq++ {
+		g := log.GenerationTime(seq)
+		if g == metrics.Never {
+			continue
+		}
+		n++
+		if d, ok := chunkCompletion(log, seq); ok {
+			sum += d.Seconds()
+		} else {
+			sum += (o.Horizon - g).Seconds()
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// chunkCompletion finds when chunk seq reached every eligible node.
+func chunkCompletion(log *metrics.DeliveryLog, seq int64) (time.Duration, bool) {
+	return log.ChunkCompletion(seq)
+}
+
+// churnSpec configures the §IV-D churn model. MeanJoin == 0 derives the
+// stationary arrival rate (one arrival per MeanLife/population on average,
+// so departures and arrivals balance and "the network scale remains
+// relatively stable").
+type churnSpec struct {
+	MeanLife time.Duration
+	MeanJoin time.Duration
+	Graceful float64
+}
+
+func (c churnSpec) joinInterval(n int) time.Duration {
+	if c.MeanJoin > 0 {
+		return c.MeanJoin
+	}
+	if n <= 1 {
+		return c.MeanLife
+	}
+	return c.MeanLife / time.Duration(n-1)
+}
+
+// runChurn executes one run with exponential lifetimes/arrivals and returns
+// the delivery log plus a sampler usable at multiple horizons.
+func runChurn(method Method, neighbors, n int, chunks int64, seed int64, horizon time.Duration, spec churnSpec) runOutcome {
+	k := sim.NewKernel(seed)
+	ccfg := churn.Config{
+		MeanLife:     spec.MeanLife,
+		MeanJoin:     spec.joinInterval(n),
+		GracefulFrac: spec.Graceful,
+	}
+	switch method {
+	case MethodDCO:
+		cfg := core.DefaultConfig()
+		cfg.Neighbors = neighbors
+		cfg.Stream.Count = chunks
+		cfg.Maintenance = true
+		s := core.NewSystem(k, cfg, n)
+		s.DisableCompletionStop()
+		d := churn.NewDriver(k, ccfg, func() churn.Peer { return s.SpawnPeer() })
+		seedPeers(d, s)
+		d.StartArrivals()
+		end := s.Run(horizon)
+		return runOutcome{Log: s.Log, Overhead: s.Net.Overhead(), OverheadAtSecond: s.Net.OverheadAtSecond, End: end, Horizon: horizon}
+	default:
+		kind := overlay.Pull
+		deg := neighbors
+		switch method {
+		case MethodPush:
+			kind = overlay.Push
+		case MethodTree:
+			kind = overlay.Tree
+			deg = treeDegree(neighbors)
+		}
+		cfg := overlay.DefaultConfig(kind)
+		cfg.Neighbors = deg
+		cfg.Stream.Count = chunks
+		s := overlay.NewSystem(k, cfg, n)
+		s.DisableCompletionStop()
+		d := churn.NewDriver(k, ccfg, func() churn.Peer { return s.SpawnPeer() })
+		for _, nd := range s.ViewerPeers() {
+			d.Track(nd)
+		}
+		d.StartArrivals()
+		end := s.Run(horizon)
+		return runOutcome{Log: s.Log, Overhead: s.Net.Overhead(), OverheadAtSecond: s.Net.OverheadAtSecond, End: end, Horizon: horizon}
+	}
+}
+
+func seedPeers(d *churn.Driver, s *core.System) {
+	for _, p := range s.Peers() {
+		if p.Alive() && p.ID() != s.Server().ID() {
+			d.Track(p)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Scaled-down parameters: the shapes the paper reports must already appear
+// at 64 nodes / short streams, which keeps the suite fast.
+func tiny() Params {
+	return Params{N: 64, Chunks: 20, Seed: 42, Horizon: 200 * time.Second}
+}
+
+func get(r *Result, x float64, m Method) float64 {
+	for _, row := range r.Rows {
+		if row.X == x {
+			return row.Y[m]
+		}
+	}
+	return -1
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := Fig5(tiny())
+	if len(r.Rows) != len(NeighborSweep) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Pull at 8 neighbors is far slower than DCO (the paper's headline).
+	if get(r, 8, MethodPull) < 1.5*get(r, 8, MethodDCO) {
+		t.Errorf("pull@8 (%.1f) should dwarf dco@8 (%.1f)", get(r, 8, MethodPull), get(r, 8, MethodDCO))
+	}
+	// DCO stays low and comparatively flat across the sweep.
+	lo, hi := get(r, 8, MethodDCO), get(r, 8, MethodDCO)
+	for _, nb := range NeighborSweep {
+		v := get(r, float64(nb), MethodDCO)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 6*lo {
+		t.Errorf("dco delay not stable across neighbors: min %.1f max %.1f", lo, hi)
+	}
+	// tree* (full fan-out) is much worse than tree (fan-out/8) at large
+	// neighbor counts.
+	if get(r, 64, MethodTreeX) <= get(r, 64, MethodTree) {
+		t.Errorf("tree* should collapse at high fan-out: tree*=%.1f tree=%.1f",
+			get(r, 64, MethodTreeX), get(r, 64, MethodTree))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	// At this substrate's bandwidth a 2 s offset barely separates anything;
+	// the shape test uses the 10 s offset documented in EXPERIMENTS.md.
+	r := FillDelta(tiny(), 10*time.Second)
+	// DCO beats pull everywhere.
+	for _, nb := range NeighborSweep {
+		if get(r, float64(nb), MethodDCO) <= get(r, float64(nb), MethodPull) {
+			t.Errorf("dco fill (%.2f) should beat pull (%.2f) at %d neighbors",
+				get(r, float64(nb), MethodDCO), get(r, float64(nb), MethodPull), nb)
+		}
+	}
+	// Push spreads faster than pull at every density (the paper's ordering;
+	// its density-growth effect only separates at paper scale, where 8
+	// neighbors out of 512 is genuinely sparse — see EXPERIMENTS.md).
+	for _, nb := range NeighborSweep {
+		if get(r, float64(nb), MethodPush)+0.02 < get(r, float64(nb), MethodPull) {
+			t.Errorf("push fill (%.2f) should match or beat pull (%.2f) at %d neighbors",
+				get(r, float64(nb), MethodPush), get(r, float64(nb), MethodPull), nb)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := Fig8(tiny())
+	for _, nb := range NeighborSweep {
+		if get(r, float64(nb), MethodTree) != 0 {
+			t.Fatalf("tree overhead nonzero at %d neighbors", nb)
+		}
+	}
+	// Mesh overhead grows with the neighbor count; DCO's does not.
+	if get(r, 64, MethodPull) <= get(r, 8, MethodPull) {
+		t.Error("pull overhead should grow with neighbors")
+	}
+	dcoGrowth := get(r, 64, MethodDCO) / get(r, 8, MethodDCO)
+	pullGrowth := get(r, 64, MethodPull) / get(r, 8, MethodPull)
+	if dcoGrowth >= pullGrowth {
+		t.Errorf("dco overhead growth (%.2fx) should be below pull's (%.2fx)", dcoGrowth, pullGrowth)
+	}
+	// At dense meshes DCO is the cheapest non-tree method.
+	if get(r, 64, MethodDCO) >= get(r, 64, MethodPull) {
+		t.Errorf("dco@64 (%.0f) should undercut pull@64 (%.0f)",
+			get(r, 64, MethodDCO), get(r, 64, MethodPull))
+	}
+}
+
+func TestFig9Linear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	p := tiny()
+	p.N = 96
+	r := Fig9(p)
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Overhead increases with population for every non-tree method.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	for _, m := range []Method{MethodDCO, MethodPull, MethodPush} {
+		if last.Y[m] <= first.Y[m] {
+			t.Errorf("%v overhead should grow with population", m)
+		}
+	}
+	if first.Y[MethodTree] != 0 || last.Y[MethodTree] != 0 {
+		t.Error("tree overhead should be zero at every size")
+	}
+}
+
+func TestFig10Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := Fig10(tiny())
+	for _, m := range AllMethods {
+		prev := -1.0
+		for _, row := range r.Rows {
+			if row.Y[m] < prev {
+				t.Fatalf("%v cumulative overhead decreased", m)
+			}
+			prev = row.Y[m]
+		}
+	}
+}
+
+func TestFig11and12Churn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	p := tiny()
+	p.Chunks = 40
+	p.Horizon = 150 * time.Second
+	r := Fig11(p)
+	lastRow := r.Rows[len(r.Rows)-1]
+	// DCO and pull deliver the bulk of the stream; tree collapses.
+	if lastRow.Y[MethodDCO] < 60 {
+		t.Errorf("dco churn delivery %.1f%% too low", lastRow.Y[MethodDCO])
+	}
+	if lastRow.Y[MethodTree] >= lastRow.Y[MethodDCO] {
+		t.Errorf("tree (%.1f%%) should trail dco (%.1f%%)", lastRow.Y[MethodTree], lastRow.Y[MethodDCO])
+	}
+	// % received grows with allowed time.
+	if lastRow.Y[MethodDCO] < r.Rows[0].Y[MethodDCO] {
+		t.Error("more dissemination time should never reduce delivery")
+	}
+
+	r12 := Fig12(Params{N: 48, Chunks: 30, Seed: 42, Horizon: 120 * time.Second})
+	// Longer lifetimes help every method (or at least never hurt tree vs
+	// its 60 s point dramatically); check DCO explicitly.
+	firstLife := r12.Rows[0]
+	lastLife := r12.Rows[len(r12.Rows)-1]
+	if lastLife.Y[MethodDCO]+5 < firstLife.Y[MethodDCO] {
+		t.Errorf("dco should not degrade with longer lifetimes: %.1f → %.1f",
+			firstLife.Y[MethodDCO], lastLife.Y[MethodDCO])
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		Figure: "Fig. X",
+		Title:  "demo",
+		XLabel: "x",
+		Series: []Method{MethodDCO},
+		Rows:   []Row{{X: 2, Y: map[Method]float64{MethodDCO: 4}}, {X: 1, Y: map[Method]float64{MethodDCO: 3}}},
+	}
+	r.sortRows()
+	if r.Rows[0].X != 1 {
+		t.Fatal("sortRows failed")
+	}
+	s := r.String()
+	if !strings.Contains(s, "Fig. X") || !strings.Contains(s, "dco") {
+		t.Fatalf("render missing pieces:\n%s", s)
+	}
+}
+
+func TestTreeDegreeRule(t *testing.T) {
+	for nb, want := range map[int]int{8: 1, 16: 2, 24: 3, 32: 4, 64: 8, 4: 1} {
+		if got := treeDegree(nb); got != want {
+			t.Fatalf("treeDegree(%d) = %d, want %d", nb, got, want)
+		}
+	}
+}
+
+func TestResultCSV(t *testing.T) {
+	r := &Result{
+		XLabel: "x,with comma",
+		Series: []Method{MethodDCO, MethodPull},
+		Rows: []Row{
+			{X: 1, Y: map[Method]float64{MethodDCO: 1.5, MethodPull: 2}},
+			{X: 2, Y: map[Method]float64{MethodDCO: 3, MethodPull: 4}},
+		},
+	}
+	var b strings.Builder
+	r.FprintCSV(&b)
+	got := b.String()
+	want := "\"x,with comma\",dco,pull\n1,1.5,2\n2,3,4\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestHierarchyGrowthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	r := HierarchyGrowth(Params{N: 24, Chunks: 60, Seed: 42, Horizon: 120 * time.Second})
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.Y["viewers"] <= first.Y["viewers"] {
+		t.Fatal("population should grow (arrivals only)")
+	}
+	if last.Y["coordinators"] <= first.Y["coordinators"] {
+		t.Fatalf("upper tier should grow with load: %v -> %v",
+			first.Y["coordinators"], last.Y["coordinators"])
+	}
+}

@@ -1,0 +1,289 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// TestRingHealsAfterAbruptFailure kills a mid-ring node and checks the
+// survivors re-link and keep answering index operations.
+func TestRingHealsAfterAbruptFailure(t *testing.T) {
+	f := transport.NewFabric()
+	src, _ := NewNode(fastConfig(true), memAttach(f))
+	var nodes []*Node
+	for i := 0; i < 5; i++ {
+		nd, _ := NewNode(fastConfig(false), memAttach(f))
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	all := append([]*Node{src}, nodes...)
+	for _, nd := range all {
+		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+	}
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		return ringSize(src, all) == len(all)
+	})
+
+	// Abrupt kill (Close without Leave).
+	victim := nodes[2]
+	victim.Close()
+	survivors := make([]*Node, 0, len(all)-1)
+	for _, nd := range all {
+		if nd != victim {
+			survivors = append(survivors, nd)
+		}
+	}
+	waitFor(t, 10*time.Second, "ring to heal around the failure", func() bool {
+		return ringSize(src, survivors) == len(survivors)
+	})
+
+	// The ring still serves index operations for any key.
+	owner, _, _, _, err := src.FindOwner(0xDEADBEEF)
+	if err != nil {
+		t.Fatalf("routing after failure: %v", err)
+	}
+	if owner.Addr == victim.Addr() {
+		t.Fatal("routing still lands on the dead node")
+	}
+}
+
+// ringSize walks successor pointers from start and counts distinct live
+// members before the walk returns home (or derails).
+func ringSize(start *Node, nodes []*Node) int {
+	byAddr := map[string]*Node{}
+	for _, nd := range nodes {
+		byAddr[nd.Addr()] = nd
+	}
+	seen := map[string]bool{}
+	cur := start
+	for cur != nil && !seen[cur.Addr()] {
+		seen[cur.Addr()] = true
+		_, succ := cur.Successor()
+		cur = byAddr[succ]
+	}
+	if cur == nil || cur.Addr() != start.Addr() {
+		return 0 // derailed or looped early
+	}
+	return len(seen)
+}
+
+// TestStreamingSurvivesViewerChurn joins/leaves viewers mid-stream and
+// checks remaining viewers still finish.
+func TestStreamingSurvivesViewerChurn(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 40
+	src, _ := NewNode(cfg, memAttach(f))
+	vcfg := fastConfig(false)
+	vcfg.Channel.Count = 40
+
+	var stable []*Node
+	for i := 0; i < 3; i++ {
+		nd, _ := NewNode(vcfg, memAttach(f))
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		stable = append(stable, nd)
+	}
+	src.Start()
+	for _, nd := range stable {
+		nd.Start()
+	}
+	defer src.Close()
+	defer func() {
+		for _, nd := range stable {
+			nd.Close()
+		}
+	}()
+
+	// A transient viewer joins, watches briefly, leaves gracefully; another
+	// dies abruptly.
+	transient, _ := NewNode(vcfg, memAttach(f))
+	if err := transient.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	transient.Start()
+	abrupt, _ := NewNode(vcfg, memAttach(f))
+	if err := abrupt.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	abrupt.Start()
+
+	time.Sleep(500 * time.Millisecond)
+	if err := transient.Leave(); err != nil {
+		t.Fatalf("transient leave: %v", err)
+	}
+	abrupt.Close()
+
+	waitFor(t, 30*time.Second, "stable viewers to finish despite churn", func() bool {
+		for _, nd := range stable {
+			if nd.ChunkCount() < 40 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestLookupPendingQueue verifies the live coordinator holds a lookup until
+// the provider registers (the paper's always-answered property).
+func TestLookupPendingQueue(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 0 // no auto-generation; we drive by hand
+	n, _ := NewNode(cfg, memAttach(f))
+	defer n.Close()
+
+	key := uint64(n.cfg.Channel.Ref(7).ID())
+	start := time.Now()
+	done := make(chan []wire.Entry, 1)
+	go func() {
+		resp := n.onLookup(&wire.Lookup{Key: key, Seq: 7, MaxWait: 3000})
+		done <- resp.(*wire.LookupResp).Providers
+	}()
+	// Register a provider 300 ms later; the parked lookup must wake.
+	time.Sleep(300 * time.Millisecond)
+	n.onInsert(&wire.Insert{Key: key, Seq: 7, Holder: wire.Entry{ID: 1, Addr: "mem://x"}, UpBps: 1})
+	select {
+	case providers := <-done:
+		if len(providers) != 1 || providers[0].Addr != "mem://x" {
+			t.Fatalf("providers = %v", providers)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("lookup waited past the insert")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked lookup never answered")
+	}
+}
+
+// TestLookupTimesOutEmpty confirms a lookup with no providers returns empty
+// after MaxWait instead of hanging.
+func TestLookupTimesOutEmpty(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 0
+	n, _ := NewNode(cfg, memAttach(f))
+	defer n.Close()
+	key := uint64(n.cfg.Channel.Ref(9).ID())
+	start := time.Now()
+	resp := n.onLookup(&wire.Lookup{Key: key, Seq: 9, MaxWait: 200})
+	if lr := resp.(*wire.LookupResp); len(lr.Providers) != 0 {
+		t.Fatalf("unexpected providers %v", lr.Providers)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("MaxWait not honored: %v", elapsed)
+	}
+}
+
+// TestNotOwnerRejected: index ops for keys outside a node's range bounce.
+func TestNotOwnerRejected(t *testing.T) {
+	f := transport.NewFabric()
+	a, _ := NewNode(fastConfig(false), memAttach(f))
+	b, _ := NewNode(fastConfig(false), memAttach(f))
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range []*Node{a, b} {
+		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+	}
+	defer a.Close()
+	defer b.Close()
+	waitFor(t, 5*time.Second, "two-node ring", func() bool {
+		_, sa := a.Successor()
+		_, sb := b.Successor()
+		return sa == b.Addr() && sb == a.Addr()
+	})
+	// A key owned by b must be rejected at a.
+	keyForB := uint64(b.ID()) // a key equal to b's ID is owned by b
+	resp := a.serve("test", &wire.Insert{Key: keyForB, Seq: 1, Holder: wire.Entry{ID: 1, Addr: "x"}})
+	if _, isErr := resp.(*wire.Error); !isErr {
+		t.Fatalf("insert at wrong owner accepted: %T", resp)
+	}
+}
+
+// TestActiveWindowRetention: a bounded active window drops old chunks and
+// withdraws their provider records.
+func TestActiveWindowRetention(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 30
+	cfg.ActiveWindow = 5
+	src, _ := NewNode(cfg, memAttach(f))
+	vcfg := fastConfig(false)
+	vcfg.Channel.Count = 30
+	vcfg.ActiveWindow = 5
+	viewer, _ := NewNode(vcfg, memAttach(f))
+	if err := viewer.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	viewer.Start()
+	defer src.Close()
+	defer viewer.Close()
+
+	waitFor(t, 30*time.Second, "viewer to reach the stream tail", func() bool {
+		return viewer.HasChunk(29)
+	})
+	if got := src.ChunkCount(); got > 5 {
+		t.Fatalf("source retains %d chunks, window is 5", got)
+	}
+	if got := viewer.ChunkCount(); got > 8 { // a little slack for in-flight stores
+		t.Fatalf("viewer retains %d chunks, window is 5", got)
+	}
+	if viewer.HasChunk(0) {
+		t.Fatal("expired chunk still buffered")
+	}
+}
+
+// TestLateViewerStartSeq: a viewer that tunes in mid-stream only fetches
+// from its start sequence onward.
+func TestLateViewerStartSeq(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 20
+	src, _ := NewNode(cfg, memAttach(f))
+	src.Start()
+	defer src.Close()
+
+	// Wait until the source is halfway through the stream.
+	waitFor(t, 10*time.Second, "source to reach chunk 10", func() bool {
+		return src.LatestGenerated() >= 10
+	})
+
+	vcfg := fastConfig(false)
+	vcfg.Channel.Count = 20
+	vcfg.StartSeq = 10
+	viewer, _ := NewNode(vcfg, memAttach(f))
+	if err := viewer.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	viewer.Start()
+	defer viewer.Close()
+
+	waitFor(t, 20*time.Second, "late viewer to finish the tail", func() bool {
+		for seq := int64(10); seq < 20; seq++ {
+			if !viewer.HasChunk(seq) {
+				return false
+			}
+		}
+		return true
+	})
+	for seq := int64(0); seq < 10; seq++ {
+		if viewer.HasChunk(seq) {
+			t.Fatalf("late viewer fetched pre-join chunk %d", seq)
+		}
+	}
+}

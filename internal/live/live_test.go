@@ -1,0 +1,247 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/stream"
+	"dco/internal/transport"
+)
+
+func memAttach(f *transport.Fabric) func(transport.Handler) (transport.Transport, error) {
+	return func(h transport.Handler) (transport.Transport, error) {
+		return f.Attach(h), nil
+	}
+}
+
+func fastConfig(source bool) Config {
+	cfg := DefaultNodeConfig()
+	cfg.Source = source
+	cfg.Channel = stream.Params{Channel: "T", ChunkBits: 8 * 1024, Period: 40 * time.Millisecond, Count: 20}
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 500 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	return cfg
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := stream.Params{Channel: "X", ChunkBits: 8 * 1024, Period: time.Second}
+	data := MakeChunkPayload(p, 7)
+	if int64(len(data)) != p.ChunkBits/8 {
+		t.Fatalf("payload size %d, want %d", len(data), p.ChunkBits/8)
+	}
+	if !VerifyChunkPayload(p, 7, data) {
+		t.Fatal("payload failed its own verification")
+	}
+	if VerifyChunkPayload(p, 8, data) {
+		t.Fatal("payload verified against the wrong seq")
+	}
+	data[100] ^= 1
+	if VerifyChunkPayload(p, 7, data) {
+		t.Fatal("corrupted payload verified")
+	}
+}
+
+func TestRingFormsOverFabric(t *testing.T) {
+	f := transport.NewFabric()
+	var nodes []*Node
+	src, err := NewNode(fastConfig(true), memAttach(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, src)
+	for i := 0; i < 5; i++ {
+		nd, err := NewNode(fastConfig(false), memAttach(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	// The ring converges: following successors from the source must visit
+	// every node and return home.
+	waitFor(t, 5*time.Second, "ring convergence", func() bool {
+		seen := map[string]bool{}
+		cur := src.Addr()
+		for i := 0; i <= len(nodes); i++ {
+			if seen[cur] {
+				break
+			}
+			seen[cur] = true
+			var next string
+			for _, nd := range nodes {
+				if nd.Addr() == cur {
+					_, next = nd.Successor()
+					break
+				}
+			}
+			cur = next
+		}
+		return len(seen) == len(nodes) && cur == src.Addr()
+	})
+}
+
+func TestEndToEndStreamingOverFabric(t *testing.T) {
+	f := transport.NewFabric()
+	src, err := NewNode(fastConfig(true), memAttach(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viewers []*Node
+	for i := 0; i < 4; i++ {
+		nd, err := NewNode(fastConfig(false), memAttach(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		viewers = append(viewers, nd)
+	}
+	src.Start()
+	for _, v := range viewers {
+		v.Start()
+	}
+	defer func() {
+		src.Close()
+		for _, v := range viewers {
+			v.Close()
+		}
+	}()
+
+	want := int(fastConfig(false).Channel.Count)
+	waitFor(t, 30*time.Second, "all viewers to receive the full stream", func() bool {
+		for _, v := range viewers {
+			if v.ChunkCount() < want {
+				return false
+			}
+		}
+		return true
+	})
+	for _, v := range viewers {
+		st := v.Stats()
+		if st.ChunksFetched < uint64(want) {
+			t.Fatalf("viewer fetched %d of %d", st.ChunksFetched, want)
+		}
+	}
+	// At least one viewer should have served chunks to another (P2P sharing
+	// actually happened, not just server fan-out).
+	var peerServed uint64
+	for _, v := range viewers {
+		peerServed += v.Stats().ChunksServed
+	}
+	if peerServed == 0 {
+		t.Error("no viewer ever served a chunk: swarm degenerated to client-server")
+	}
+}
+
+func TestEndToEndStreamingOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP end-to-end test skipped in -short mode")
+	}
+	tcpAttach := func(h transport.Handler) (transport.Transport, error) {
+		return transport.ListenTCP("127.0.0.1:0", h)
+	}
+	src, err := NewNode(fastConfig(true), tcpAttach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viewers []*Node
+	for i := 0; i < 3; i++ {
+		nd, err := NewNode(fastConfig(false), tcpAttach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		viewers = append(viewers, nd)
+	}
+	src.Start()
+	for _, v := range viewers {
+		v.Start()
+	}
+	defer func() {
+		src.Close()
+		for _, v := range viewers {
+			v.Close()
+		}
+	}()
+	want := int(fastConfig(false).Channel.Count)
+	waitFor(t, 60*time.Second, "TCP viewers to receive the full stream", func() bool {
+		for _, v := range viewers {
+			if v.ChunkCount() < want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestGracefulLeaveHandsOffIndex(t *testing.T) {
+	f := transport.NewFabric()
+	src, _ := NewNode(fastConfig(true), memAttach(f))
+	a, _ := NewNode(fastConfig(false), memAttach(f))
+	b, _ := NewNode(fastConfig(false), memAttach(f))
+	if err := a.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range []*Node{src, a, b} {
+		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+	}
+	defer src.Close()
+	defer b.Close()
+
+	// Let the ring converge, then give node a an index entry by force.
+	time.Sleep(300 * time.Millisecond)
+	a.mu.Lock()
+	e := a.indexEntryLocked(999)
+	e.providers = append(e.providers, a.wireSelfLocked())
+	a.mu.Unlock()
+
+	if err := a.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// The successor (src or b) must now hold entry 999.
+	waitFor(t, 3*time.Second, "handoff to land", func() bool {
+		for _, nd := range []*Node{src, b} {
+			nd.mu.Lock()
+			_, ok := nd.index[999]
+			nd.mu.Unlock()
+			if ok {
+				return true
+			}
+		}
+		return false
+	})
+}

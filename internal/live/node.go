@@ -1,0 +1,376 @@
+// Package live is the runnable, real-network DCO node. It reuses the same
+// Chord state machine as the simulator (internal/chord) and implements the
+// paper's chunk-sharing algorithm over internal/transport: viewers look up
+// chunk IDs in the ring, fetch chunk data from the returned providers, and
+// register themselves as providers; coordinators keep the index tables and
+// hold unanswerable lookups until a provider registers.
+package live
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/stream"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Channel fixes the stream geometry. Count == 0 means an endless
+	// stream (the source generates until Close).
+	Channel stream.Params
+
+	// Source makes this node the stream origin.
+	Source bool
+
+	// StartSeq is the first chunk a viewer fetches.
+	StartSeq int64
+
+	// SuccListSize is the Chord successor-list length.
+	SuccListSize int
+
+	// Maintenance cadence.
+	StabilizeEvery  time.Duration
+	FixFingersEvery time.Duration
+
+	// Fetching.
+	LookupWait         time.Duration // server-side pending-queue wait per lookup
+	CallTimeout        time.Duration
+	FetchWorkers       int
+	MaxServeConcurrent int // provider-side admission limit
+
+	// UpBps is advertised in inserts (paper Fig. 3's bandwidth column).
+	UpBps int64
+
+	// RepublishEvery re-inserts a few of this node's chunk indices (DHT
+	// soft state): a coordinator that dies abruptly takes its index table
+	// with it, and republication is what restores availability.
+	RepublishEvery time.Duration
+	RepublishBatch int
+
+	// ActiveWindow bounds how many chunks a node retains (and advertises);
+	// older chunks are dropped and unregistered as the stream moves on —
+	// the paper's sliding active-chunk window (§III-A1). Zero keeps
+	// everything (fine for bounded streams; do not use with endless ones).
+	ActiveWindow int
+
+	// OnChunk, if set, is invoked for every chunk received or generated
+	// (after it is buffered), in seq order per worker but not globally.
+	OnChunk func(seq int64, data []byte)
+}
+
+// DefaultNodeConfig returns sane settings for LAN/localhost deployments.
+func DefaultNodeConfig() Config {
+	return Config{
+		Channel:            stream.Params{Channel: "LIVE", ChunkBits: 64 * 8 * 1024, Period: 250 * time.Millisecond, Count: 0},
+		SuccListSize:       8,
+		StabilizeEvery:     300 * time.Millisecond,
+		FixFingersEvery:    100 * time.Millisecond,
+		LookupWait:         2 * time.Second,
+		CallTimeout:        5 * time.Second,
+		FetchWorkers:       3,
+		MaxServeConcurrent: 8,
+		UpBps:              10_000_000,
+		RepublishEvery:     time.Second,
+		RepublishBatch:     4,
+	}
+}
+
+type entryT = chord.Entry[string]
+
+// Node is a live DCO participant.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu         sync.Mutex
+	cs         *chord.State[string]
+	chunks     map[int64][]byte
+	registered map[int64]bool
+	index      map[int64]*indexEntry
+	latestGen  int64 // source: newest generated seq
+
+	serveSem        chan struct{}
+	republishCursor uint64
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+
+	// Counters (atomic-free: guarded by mu where touched).
+	stats Stats
+}
+
+// Stats aggregates a node's protocol activity.
+type Stats struct {
+	LookupsServed  uint64
+	InsertsServed  uint64
+	ChunksServed   uint64
+	ChunksFetched  uint64
+	FetchRetries   uint64
+	BusyRejections uint64
+}
+
+type indexEntry struct {
+	providers []wire.Entry
+	rr        int
+	wake      chan struct{} // closed and replaced whenever a provider registers
+}
+
+// errNotOwner is returned (over the wire as wire.Error) when an index op
+// reaches a node that does not own the key; callers re-route.
+var errNotOwner = errors.New("live: not the key owner")
+
+// NewNode creates a node bound to a transport factory. attach is called
+// with the node's handler and must return the listening transport (this
+// inversion lets the caller pick TCP or an in-memory fabric).
+func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, error)) (*Node, error) {
+	if cfg.SuccListSize <= 0 {
+		cfg.SuccListSize = 8
+	}
+	if cfg.FetchWorkers <= 0 {
+		cfg.FetchWorkers = 2
+	}
+	if cfg.MaxServeConcurrent <= 0 {
+		cfg.MaxServeConcurrent = 8
+	}
+	n := &Node{
+		cfg:        cfg,
+		chunks:     make(map[int64][]byte),
+		registered: make(map[int64]bool),
+		index:      make(map[int64]*indexEntry),
+		serveSem:   make(chan struct{}, cfg.MaxServeConcurrent),
+		closed:     make(chan struct{}),
+		latestGen:  -1,
+	}
+	tr, err := attach(transport.HandlerFunc(n.serve))
+	if err != nil {
+		return nil, err
+	}
+	n.tr = tr
+	self := entryT{ID: chord.HashString("live-node-" + tr.Addr()), Addr: tr.Addr(), OK: true}
+	n.cs = chord.NewState(self, cfg.SuccListSize)
+	return n, nil
+}
+
+// Addr returns the node's dialable address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// ID returns the node's ring position.
+func (n *Node) ID() chord.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cs.Self.ID
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// HasChunk reports whether the node buffered seq.
+func (n *Node) HasChunk(seq int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.chunks[seq]
+	return ok
+}
+
+// ChunkCount returns the number of buffered chunks.
+func (n *Node) ChunkCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.chunks)
+}
+
+// Successor exposes the current successor (tests, debugging).
+func (n *Node) Successor() (id chord.ID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.cs.Successor()
+	return s.ID, s.Addr
+}
+
+// Start launches the maintenance loops and, for sources, the generator;
+// viewers also start their fetch pipeline.
+func (n *Node) Start() {
+	n.loop(n.cfg.StabilizeEvery, n.stabilize)
+	n.loop(n.cfg.FixFingersEvery, n.fixFinger)
+	n.loop(n.cfg.RepublishEvery, n.republish)
+	if n.cfg.Source {
+		n.wg.Add(1)
+		go n.generateLoop()
+	} else {
+		n.wg.Add(1)
+		go n.fetchLoop()
+	}
+}
+
+func (n *Node) loop(period time.Duration, fn func()) {
+	if period <= 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.closed:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// Close stops the node without the graceful-leave protocol (abrupt
+// failure); use Leave for a polite departure.
+func (n *Node) Close() error {
+	n.closeMu.Do(func() { close(n.closed) })
+	err := n.tr.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Join attaches the node to the ring through any existing member.
+func (n *Node) Join(bootstrap string) error {
+	n.mu.Lock()
+	selfID := n.cs.Self.ID
+	n.mu.Unlock()
+	owner, succs, pred, predOK, err := n.findOwnerFrom(bootstrap, uint64(selfID))
+	if err != nil {
+		return fmt.Errorf("live: join via %s: %w", bootstrap, err)
+	}
+	n.mu.Lock()
+	n.cs.SetSuccessor(entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
+	var list []entryT
+	for _, e := range succs {
+		list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+	}
+	if len(list) > 0 {
+		n.cs.AdoptSuccessorList(entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true}, list)
+	}
+	if predOK {
+		n.cs.SetPredecessor(entryT{ID: chord.ID(pred.ID), Addr: pred.Addr, OK: true})
+	}
+	n.mu.Unlock()
+	_, err = n.call(owner.Addr, &wire.Notify{From: n.wireSelf()})
+	return err
+}
+
+// Leave departs gracefully: index handoff to the successor, ring unlink,
+// then shutdown.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	succ := n.cs.Successor()
+	pred := n.cs.Predecessor()
+	var entries []wire.HandoffEntry
+	for seq, e := range n.index {
+		entries = append(entries, wire.HandoffEntry{
+			Key:       uint64(n.cfg.Channel.Ref(seq).ID()),
+			Seq:       seq,
+			Providers: append([]wire.Entry(nil), e.providers...),
+		})
+		delete(n.index, seq)
+	}
+	self := n.wireSelfLocked()
+	var succList []wire.Entry
+	for _, e := range n.cs.SuccessorList() {
+		succList = append(succList, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+	}
+	n.mu.Unlock()
+
+	if succ.OK && succ.Addr != n.Addr() {
+		if len(entries) > 0 {
+			_, _ = n.call(succ.Addr, &wire.Handoff{Entries: entries})
+		}
+		leave := &wire.Leave{From: self}
+		if pred.OK {
+			leave.NewPred = wire.Entry{ID: uint64(pred.ID), Addr: pred.Addr}
+			leave.PredOK = true
+		}
+		_, _ = n.call(succ.Addr, leave)
+		if pred.OK && pred.Addr != n.Addr() {
+			_, _ = n.call(pred.Addr, &wire.Leave{From: self, NewSucc: succList})
+		}
+	}
+	return n.Close()
+}
+
+func (n *Node) wireSelf() wire.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.wireSelfLocked()
+}
+
+func (n *Node) wireSelfLocked() wire.Entry {
+	return wire.Entry{ID: uint64(n.cs.Self.ID), Addr: n.cs.Self.Addr}
+}
+
+func (n *Node) call(addr string, req wire.Message) (wire.Message, error) {
+	resp, err := n.tr.Call(addr, req, n.cfg.CallTimeout)
+	if err != nil {
+		if _, isRemote := err.(*wire.Error); !isRemote {
+			// Transport-level failure: treat the peer as dead and purge it
+			// from our tables; stabilization re-adds it if it was only a
+			// hiccup.
+			n.mu.Lock()
+			n.cs.RemoveFailed(addr)
+			n.mu.Unlock()
+		}
+	}
+	return resp, err
+}
+
+// ---------------------------------------------------------------------------
+// Chunk payloads: deterministic synthetic media so any node can verify
+// integrity end-to-end.
+
+// MakeChunkPayload builds the synthetic chunk body for seq: an 8-byte
+// big-endian seq header followed by SHA-256 keystream bytes.
+func MakeChunkPayload(p stream.Params, seq int64) []byte {
+	size := int(p.ChunkBits / 8)
+	if size < 8 {
+		size = 8
+	}
+	out := make([]byte, size)
+	binary.BigEndian.PutUint64(out, uint64(seq))
+	var counter uint64
+	for off := 8; off < size; off += sha256.Size {
+		var block [16]byte
+		binary.BigEndian.PutUint64(block[:8], uint64(seq))
+		binary.BigEndian.PutUint64(block[8:], counter)
+		sum := sha256.Sum256(block[:])
+		copy(out[off:], sum[:])
+		counter++
+	}
+	return out
+}
+
+// VerifyChunkPayload checks a received body against the generator.
+func VerifyChunkPayload(p stream.Params, seq int64, data []byte) bool {
+	if len(data) < 8 || int64(binary.BigEndian.Uint64(data)) != seq {
+		return false
+	}
+	want := MakeChunkPayload(p, seq)
+	if len(want) != len(data) {
+		return false
+	}
+	for i := range want {
+		if want[i] != data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,389 @@
+package live
+
+import (
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/wire"
+)
+
+// serve dispatches one inbound RPC. It runs on transport goroutines, so
+// everything it touches is guarded by n.mu; blocking waits (the lookup
+// pending queue) happen outside the lock.
+func (n *Node) serve(from string, req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case *wire.Ping:
+		return &wire.Pong{}
+	case *wire.FindSuccessor:
+		return n.onFindSuccessor(m)
+	case *wire.GetState:
+		return n.onGetState()
+	case *wire.Notify:
+		return n.onNotify(m)
+	case *wire.Lookup:
+		return n.onLookup(m)
+	case *wire.Insert:
+		return n.onInsert(m)
+	case *wire.GetChunk:
+		return n.onGetChunk(m)
+	case *wire.Handoff:
+		return n.onHandoff(m)
+	case *wire.Leave:
+		return n.onLeave(m)
+	default:
+		return &wire.Error{Msg: "unsupported request"}
+	}
+}
+
+func (n *Node) onFindSuccessor(m *wire.FindSuccessor) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hop, done := n.cs.NextHop(chord.ID(m.Key))
+	resp := &wire.FindSuccessorResp{
+		Done:  done && hop.Addr == n.cs.Self.Addr,
+		Owner: wire.Entry{ID: uint64(hop.ID), Addr: hop.Addr},
+	}
+	if resp.Done {
+		for _, e := range n.cs.SuccessorList() {
+			resp.Succs = append(resp.Succs, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+		}
+		if p := n.cs.Predecessor(); p.OK {
+			resp.Pred = wire.Entry{ID: uint64(p.ID), Addr: p.Addr}
+			resp.OK = true
+		}
+	} else if done {
+		// The successor owns the key: the caller should finish there.
+		resp.Done = false
+	}
+	return resp
+}
+
+func (n *Node) onGetState() wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := &wire.GetStateResp{}
+	if p := n.cs.Predecessor(); p.OK {
+		resp.Pred = wire.Entry{ID: uint64(p.ID), Addr: p.Addr}
+		resp.PredOK = true
+	}
+	for _, e := range n.cs.SuccessorList() {
+		resp.Succs = append(resp.Succs, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+	}
+	return resp
+}
+
+func (n *Node) onNotify(m *wire.Notify) wire.Message {
+	cand := entryT{ID: chord.ID(m.From.ID), Addr: m.From.Addr, OK: true}
+	n.mu.Lock()
+	adopted := n.cs.Notify(cand)
+	var moved []wire.HandoffEntry
+	if adopted {
+		for seq, e := range n.index {
+			key := n.cfg.Channel.Ref(seq).ID()
+			if !n.cs.OwnsKey(key) {
+				moved = append(moved, wire.HandoffEntry{
+					Key:       uint64(key),
+					Seq:       seq,
+					Providers: append([]wire.Entry(nil), e.providers...),
+				})
+				delete(n.index, seq)
+			}
+		}
+	}
+	n.mu.Unlock()
+	if len(moved) > 0 {
+		// Transfer asynchronously; a lost handoff only delays re-registration.
+		go func() { _, _ = n.call(cand.Addr, &wire.Handoff{Entries: moved}) }()
+	}
+	return &wire.Ack{}
+}
+
+// onLookup serves the coordinator role: answer with providers, waiting up
+// to MaxWait for the first registration (the paper's pending queue).
+func (n *Node) onLookup(m *wire.Lookup) wire.Message {
+	deadline := time.Now().Add(time.Duration(m.MaxWait) * time.Millisecond)
+	for {
+		n.mu.Lock()
+		if !n.cs.OwnsKey(chord.ID(m.Key)) {
+			n.mu.Unlock()
+			return &wire.Error{Msg: errNotOwner.Error()}
+		}
+		n.stats.LookupsServed++
+		e := n.indexEntryLocked(m.Seq)
+		if len(e.providers) > 0 {
+			resp := &wire.LookupResp{Seq: m.Seq}
+			for i := 0; i < len(e.providers) && i < 3; i++ {
+				resp.Providers = append(resp.Providers, e.providers[(e.rr+i)%len(e.providers)])
+			}
+			e.rr = (e.rr + 1) % len(e.providers)
+			n.mu.Unlock()
+			return resp
+		}
+		wake := e.wake
+		n.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return &wire.LookupResp{Seq: m.Seq}
+		}
+		select {
+		case <-wake:
+		case <-time.After(remain):
+			return &wire.LookupResp{Seq: m.Seq}
+		case <-n.closed:
+			return &wire.Error{Msg: "shutting down"}
+		}
+	}
+}
+
+func (n *Node) indexEntryLocked(seq int64) *indexEntry {
+	e := n.index[seq]
+	if e == nil {
+		e = &indexEntry{wake: make(chan struct{})}
+		n.index[seq] = e
+	}
+	return e
+}
+
+func (n *Node) onInsert(m *wire.Insert) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.cs.OwnsKey(chord.ID(m.Key)) {
+		return &wire.Error{Msg: errNotOwner.Error()}
+	}
+	n.stats.InsertsServed++
+	e := n.indexEntryLocked(m.Seq)
+	if m.Unregister {
+		for i, pr := range e.providers {
+			if pr.Addr == m.Holder.Addr {
+				e.providers = append(e.providers[:i], e.providers[i+1:]...)
+				break
+			}
+		}
+		return &wire.Ack{}
+	}
+	for _, pr := range e.providers {
+		if pr.Addr == m.Holder.Addr {
+			return &wire.Ack{}
+		}
+	}
+	e.providers = append(e.providers, m.Holder)
+	close(e.wake) // release pending lookups
+	e.wake = make(chan struct{})
+	return &wire.Ack{}
+}
+
+func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
+	select {
+	case n.serveSem <- struct{}{}:
+	default:
+		n.mu.Lock()
+		n.stats.BusyRejections++
+		n.mu.Unlock()
+		return &wire.ChunkResp{Seq: m.Seq, Busy: true}
+	}
+	defer func() { <-n.serveSem }()
+	n.mu.Lock()
+	data, ok := n.chunks[m.Seq]
+	if ok {
+		n.stats.ChunksServed++
+	}
+	n.mu.Unlock()
+	return &wire.ChunkResp{Seq: m.Seq, OK: ok, Data: data}
+}
+
+func (n *Node) onHandoff(m *wire.Handoff) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, he := range m.Entries {
+		e := n.indexEntryLocked(he.Seq)
+	outer:
+		for _, pr := range he.Providers {
+			for _, have := range e.providers {
+				if have.Addr == pr.Addr {
+					continue outer
+				}
+			}
+			e.providers = append(e.providers, pr)
+		}
+		if len(e.providers) > 0 {
+			close(e.wake)
+			e.wake = make(chan struct{})
+		}
+	}
+	return &wire.Ack{}
+}
+
+func (n *Node) onLeave(m *wire.Leave) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.NewSucc != nil {
+		n.cs.RemoveFailed(m.From.Addr)
+		var list []entryT
+		for _, e := range m.NewSucc {
+			if e.Addr != m.From.Addr && e.Addr != n.cs.Self.Addr {
+				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+			}
+		}
+		if len(list) > 0 {
+			n.cs.AdoptSuccessorList(list[0], list[1:])
+		}
+	} else {
+		if p := n.cs.Predecessor(); p.OK && p.Addr == m.From.Addr {
+			if m.PredOK {
+				n.cs.SetPredecessor(entryT{ID: chord.ID(m.NewPred.ID), Addr: m.NewPred.Addr, OK: true})
+			} else {
+				n.cs.ClearPredecessor()
+			}
+		}
+	}
+	return &wire.Ack{}
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance loops.
+
+func (n *Node) stabilize() {
+	n.checkPredecessor()
+	n.mu.Lock()
+	succ := n.cs.Successor()
+	self := n.cs.Self
+	if succ.Addr == self.Addr {
+		// Ring of one: when the first peer notifies us it becomes our
+		// predecessor; adopting it as successor closes the two-node ring
+		// (the standard Chord bootstrap step).
+		if p := n.cs.Predecessor(); p.OK && p.Addr != self.Addr {
+			n.cs.SetSuccessor(p)
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	if !succ.OK {
+		return
+	}
+	resp, err := n.call(succ.Addr, &wire.GetState{})
+	if err != nil {
+		n.mu.Lock()
+		n.cs.RemoveFailed(succ.Addr)
+		n.mu.Unlock()
+		return
+	}
+	st, ok := resp.(*wire.GetStateResp)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	cur := n.cs.Successor()
+	if cur.Addr == succ.Addr {
+		if st.PredOK && st.Pred.Addr != self.Addr && chord.InOO(self.ID, chord.ID(st.Pred.ID), succ.ID) {
+			n.cs.SetSuccessor(entryT{ID: chord.ID(st.Pred.ID), Addr: st.Pred.Addr, OK: true})
+		} else {
+			var list []entryT
+			for _, e := range st.Succs {
+				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+			}
+			n.cs.AdoptSuccessorList(succ, list)
+		}
+	}
+	target := n.cs.Successor()
+	n.mu.Unlock()
+	if target.OK && target.Addr != self.Addr {
+		_, _ = n.call(target.Addr, &wire.Notify{From: wire.Entry{ID: uint64(self.ID), Addr: self.Addr}})
+	}
+}
+
+// checkPredecessor is Chord's check_predecessor: ping the predecessor and
+// clear it on failure. Without it, a dead predecessor is forever
+// re-advertised to the node behind it and the ring never heals.
+func (n *Node) checkPredecessor() {
+	n.mu.Lock()
+	pred := n.cs.Predecessor()
+	self := n.cs.Self.Addr
+	n.mu.Unlock()
+	if !pred.OK || pred.Addr == self {
+		return
+	}
+	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil {
+		n.mu.Lock()
+		if cur := n.cs.Predecessor(); cur.OK && cur.Addr == pred.Addr {
+			n.cs.ClearPredecessor()
+		}
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) fixFinger() {
+	n.mu.Lock()
+	i, start := n.cs.NextFingerToFix()
+	n.mu.Unlock()
+	owner, _, _, _, err := n.FindOwner(uint64(start))
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.cs.SetFinger(i, entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
+	n.mu.Unlock()
+}
+
+// FindOwner routes iteratively from this node to the owner of key. A dead
+// hop is purged from the local tables (via call's failure handling) and the
+// route restarts, so routing self-heals in step with stabilization.
+func (n *Node) FindOwner(key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		n.mu.Lock()
+		hop, done := n.cs.NextHop(chord.ID(key))
+		self := n.cs.Self
+		n.mu.Unlock()
+		if done && hop.Addr == self.Addr {
+			// We own it ourselves.
+			st := n.onGetState().(*wire.GetStateResp)
+			return wire.Entry{ID: uint64(self.ID), Addr: self.Addr}, st.Succs, st.Pred, st.PredOK, nil
+		}
+		owner, succs, pred, predOK, err = n.findOwnerFrom(hop.Addr, key)
+		if err == nil {
+			return owner, succs, pred, predOK, nil
+		}
+		select {
+		case <-n.closed:
+			return wire.Entry{}, nil, wire.Entry{}, false, err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return wire.Entry{}, nil, wire.Entry{}, false, err
+}
+
+// findOwnerFrom iterates FindSuccessor starting at a remote node.
+func (n *Node) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
+	cur := start
+	for hops := 0; hops < 2*chord.M; hops++ {
+		resp, cerr := n.call(cur, &wire.FindSuccessor{Key: key})
+		if cerr != nil {
+			return wire.Entry{}, nil, wire.Entry{}, false, cerr
+		}
+		fs, ok := resp.(*wire.FindSuccessorResp)
+		if !ok {
+			return wire.Entry{}, nil, wire.Entry{}, false, errUnexpected(resp)
+		}
+		if fs.Done {
+			return fs.Owner, fs.Succs, fs.Pred, fs.OK, nil
+		}
+		if fs.Owner.Addr == "" || fs.Owner.Addr == cur {
+			return wire.Entry{}, nil, wire.Entry{}, false, errRoutingStuck
+		}
+		cur = fs.Owner.Addr
+	}
+	return wire.Entry{}, nil, wire.Entry{}, false, errTooManyHops
+}
+
+var (
+	errRoutingStuck = errorString("live: routing made no progress")
+	errTooManyHops  = errorString("live: routing exceeded hop bound")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func errUnexpected(m wire.Message) error {
+	return errorString("live: unexpected response kind")
+}

@@ -1,0 +1,304 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"dco/internal/wire"
+)
+
+// generateLoop is the source's production loop: every Period it creates the
+// next synthetic chunk, buffers it, and inserts its index into the DHT.
+func (n *Node) generateLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.Channel.Period)
+	defer t.Stop()
+	seq := int64(0)
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+		}
+		if n.cfg.Channel.Count > 0 && seq >= n.cfg.Channel.Count {
+			return
+		}
+		data := MakeChunkPayload(n.cfg.Channel, seq)
+		n.mu.Lock()
+		n.chunks[seq] = data
+		n.latestGen = seq
+		cb := n.cfg.OnChunk
+		expired := n.trimActiveWindowLocked()
+		n.mu.Unlock()
+		if cb != nil {
+			cb(seq, data)
+		}
+		n.unregisterExpired(expired)
+		n.registerChunk(seq)
+		seq++
+	}
+}
+
+// LatestGenerated returns the newest chunk the source produced (-1 before
+// the first). Viewers return their newest buffered chunk.
+func (n *Node) LatestGenerated() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.latestGen
+}
+
+// registerChunk inserts this node's index for seq at the chunk's
+// coordinator (Algorithm 1, line 8). Routing errors are retried once after
+// a short pause; beyond that the republish loop repairs availability.
+func (n *Node) registerChunk(seq int64) {
+	n.mu.Lock()
+	if n.registered[seq] {
+		n.mu.Unlock()
+		return
+	}
+	n.registered[seq] = true
+	n.mu.Unlock()
+	n.insertIndex(seq)
+}
+
+// republish re-inserts a few random registered indices (soft state): when a
+// coordinator fails, the entries it held reappear at the key's new owner
+// within a couple of periods.
+func (n *Node) republish() {
+	n.mu.Lock()
+	seqs := make([]int64, 0, len(n.registered))
+	for seq := range n.registered {
+		seqs = append(seqs, seq)
+	}
+	n.mu.Unlock()
+	if len(seqs) == 0 {
+		return
+	}
+	batch := n.cfg.RepublishBatch
+	if batch <= 0 {
+		batch = 1
+	}
+	// A rotating window over the registered set covers everything without
+	// randomness (simpler to reason about; order does not matter here).
+	for i := 0; i < batch && i < len(seqs); i++ {
+		n.mu.Lock()
+		idx := int(n.republishCursor % uint64(len(seqs)))
+		n.republishCursor++
+		n.mu.Unlock()
+		n.insertIndex(seqs[idx])
+	}
+}
+
+// insertIndex performs one routed Insert of this node's index for seq.
+func (n *Node) insertIndex(seq int64) {
+	n.mu.Lock()
+	bufCount := int64(len(n.chunks))
+	n.mu.Unlock()
+
+	key := uint64(n.cfg.Channel.Ref(seq).ID())
+	msg := &wire.Insert{
+		Key:      key,
+		Seq:      seq,
+		Holder:   n.wireSelf(),
+		UpBps:    n.cfg.UpBps,
+		BufCount: bufCount,
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		owner, _, _, _, err := n.FindOwner(key)
+		if err == nil {
+			if owner.Addr == n.Addr() {
+				n.onInsert(msg)
+				return
+			}
+			if _, err = n.call(owner.Addr, msg); err == nil {
+				return
+			}
+		}
+		select {
+		case <-n.closed:
+			return
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	// The republish loop will retry later.
+}
+
+// fetchLoop drives a viewer: FetchWorkers goroutines consume sequence
+// numbers in order and run the lookup → get → register cycle for each.
+func (n *Node) fetchLoop() {
+	defer n.wg.Done()
+	seqs := make(chan int64)
+	done := make(chan struct{})
+	for i := 0; i < n.cfg.FetchWorkers; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for seq := range seqs {
+				if err := n.FetchChunk(seq); err != nil {
+					// Transient — the stream moves on; a later repair
+					// fetch could be layered here if gapless playback
+					// mattered more than liveness.
+					continue
+				}
+			}
+		}()
+	}
+	defer close(seqs)
+	defer close(done)
+	seq := n.cfg.StartSeq
+	for {
+		if n.cfg.Channel.Count > 0 && seq >= n.cfg.Channel.Count {
+			return
+		}
+		select {
+		case <-n.closed:
+			return
+		case seqs <- seq:
+			seq++
+		}
+	}
+}
+
+// FetchChunk acquires one chunk by the paper's client algorithm: Lookup the
+// coordinator (which may hold the request until a provider registers),
+// fetch from a returned provider, verify, buffer, and re-register as a
+// provider. It retries across providers and routing changes until it
+// succeeds or the node closes: chunk availability is eventually restored
+// by the source's republication, so giving up would orphan the chunk.
+func (n *Node) FetchChunk(seq int64) error {
+	if n.HasChunk(seq) {
+		return nil
+	}
+	key := uint64(n.cfg.Channel.Ref(seq).ID())
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-n.closed:
+			return fmt.Errorf("live: node closed (last error: %v)", lastErr)
+		default:
+		}
+		providers, err := n.lookupProviders(key, seq)
+		if err != nil || len(providers) == 0 {
+			lastErr = err
+			n.bumpRetry()
+			continue
+		}
+		for _, pr := range providers {
+			if pr.Addr == n.Addr() {
+				continue
+			}
+			resp, err := n.call(pr.Addr, &wire.GetChunk{Seq: seq})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			cr, ok := resp.(*wire.ChunkResp)
+			if !ok || !cr.OK {
+				if ok && cr.Busy {
+					time.Sleep(50 * time.Millisecond)
+				}
+				continue
+			}
+			if !VerifyChunkPayload(n.cfg.Channel, seq, cr.Data) {
+				lastErr = fmt.Errorf("live: chunk %d failed verification", seq)
+				continue
+			}
+			n.storeChunk(seq, cr.Data)
+			n.registerChunk(seq)
+			return nil
+		}
+		n.bumpRetry()
+	}
+}
+
+func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
+	owner, _, _, _, err := n.FindOwner(key)
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(n.cfg.LookupWait / time.Millisecond)}
+	if owner.Addr == n.Addr() {
+		resp := n.onLookup(req)
+		if lr, ok := resp.(*wire.LookupResp); ok {
+			return lr.Providers, nil
+		}
+		return nil, fmt.Errorf("live: local lookup failed")
+	}
+	resp, err := n.call(owner.Addr, req)
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := resp.(*wire.LookupResp)
+	if !ok {
+		return nil, errUnexpected(resp)
+	}
+	return lr.Providers, nil
+}
+
+func (n *Node) storeChunk(seq int64, data []byte) {
+	n.mu.Lock()
+	_, dup := n.chunks[seq]
+	if !dup {
+		n.chunks[seq] = data
+		n.stats.ChunksFetched++
+		if seq > n.latestGen {
+			n.latestGen = seq
+		}
+	}
+	cb := n.cfg.OnChunk
+	expired := n.trimActiveWindowLocked()
+	n.mu.Unlock()
+	if !dup && cb != nil {
+		cb(seq, data)
+	}
+	n.unregisterExpired(expired)
+}
+
+// trimActiveWindowLocked drops chunks that fell out of the active window
+// and returns their sequence numbers for unregistration. Caller holds mu.
+func (n *Node) trimActiveWindowLocked() []int64 {
+	w := n.cfg.ActiveWindow
+	if w <= 0 || len(n.chunks) <= w {
+		return nil
+	}
+	cut := n.latestGen - int64(w) + 1
+	var expired []int64
+	for seq := range n.chunks {
+		if seq < cut {
+			delete(n.chunks, seq)
+			delete(n.registered, seq)
+			expired = append(expired, seq)
+		}
+	}
+	return expired
+}
+
+// unregisterExpired withdraws provider records for chunks this node no
+// longer holds, so coordinators stop advertising it (§III-B1b departure
+// duty, applied to the sliding window).
+func (n *Node) unregisterExpired(seqs []int64) {
+	for _, seq := range seqs {
+		seq := seq
+		key := uint64(n.cfg.Channel.Ref(seq).ID())
+		owner, _, _, _, err := n.FindOwner(key)
+		if err != nil {
+			continue // best effort; a stale entry only costs a nack later
+		}
+		msg := &wire.Insert{Key: key, Seq: seq, Holder: n.wireSelf(), Unregister: true}
+		if owner.Addr == n.Addr() {
+			n.onInsert(msg)
+			continue
+		}
+		_, _ = n.call(owner.Addr, msg)
+	}
+}
+
+func (n *Node) bumpRetry() {
+	n.mu.Lock()
+	n.stats.FetchRetries++
+	n.mu.Unlock()
+	select {
+	case <-n.closed:
+	case <-time.After(150 * time.Millisecond):
+	}
+}

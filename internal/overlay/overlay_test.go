@@ -1,0 +1,292 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/churn"
+	"dco/internal/sim"
+)
+
+func small(kind Kind) Config {
+	cfg := DefaultConfig(kind)
+	cfg.Stream.Count = 10
+	cfg.Neighbors = 8
+	if kind == Tree {
+		cfg.Neighbors = 2
+	}
+	return cfg
+}
+
+func TestMeshConstruction(t *testing.T) {
+	cfg := small(Pull)
+	cfg.Neighbors = 6
+	k := sim.NewKernel(1)
+	s := NewSystem(k, cfg, 40)
+	// Degree: every node has at least the target degree (ring + random
+	// edges may add a few).
+	for _, nd := range s.nodes {
+		if len(nd.neighbors) < 6 {
+			t.Fatalf("node %d degree %d < 6", nd.id, len(nd.neighbors))
+		}
+		if _, self := nd.neighbors[nd.id]; self {
+			t.Fatal("self-loop in mesh")
+		}
+	}
+	// Symmetry.
+	for _, nd := range s.nodes {
+		for nid := range nd.neighbors {
+			if _, back := s.nodes[nid].neighbors[nd.id]; !back {
+				t.Fatalf("asymmetric edge %d-%d", nd.id, nid)
+			}
+		}
+	}
+}
+
+func TestMeshDegreeCappedBySize(t *testing.T) {
+	cfg := small(Pull)
+	cfg.Neighbors = 100 // larger than the network
+	k := sim.NewKernel(1)
+	s := NewSystem(k, cfg, 10)
+	for _, nd := range s.nodes {
+		if len(nd.neighbors) > 9 {
+			t.Fatalf("degree %d exceeds n-1", len(nd.neighbors))
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	cfg := small(Tree)
+	cfg.Neighbors = 3
+	k := sim.NewKernel(1)
+	s := NewSystem(k, cfg, 14)
+	if len(s.server.children) != 3 {
+		t.Fatalf("root out-degree %d", len(s.server.children))
+	}
+	// Every non-root node appears exactly once as a child.
+	seen := map[int]int{}
+	for _, nd := range s.nodes {
+		for _, c := range nd.children {
+			seen[int(c)]++
+		}
+	}
+	for i := 1; i < 14; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("node %d has %d parents", i, seen[i])
+		}
+	}
+}
+
+func TestTreeZeroOverhead(t *testing.T) {
+	cfg := small(Tree)
+	k := sim.NewKernel(2)
+	s := NewSystem(k, cfg, 30)
+	s.Run(200 * time.Second)
+	if s.Net.Overhead() != 0 {
+		t.Fatalf("tree produced %d overhead messages; the paper requires 0", s.Net.Overhead())
+	}
+	if s.ReceivedTotal() != int64(29*cfg.Stream.Count) {
+		t.Fatalf("tree delivery incomplete: %d", s.ReceivedTotal())
+	}
+}
+
+func TestTreeHighDegreeDegrades(t *testing.T) {
+	// The paper's Fig. 5/6 cliff: out-degree above the uplink budget
+	// (600 kbps / 300 kbps stream = 2) makes the tree fall behind.
+	delay := func(degree int) time.Duration {
+		cfg := DefaultConfig(Tree)
+		cfg.Stream.Count = 20
+		cfg.Neighbors = degree
+		k := sim.NewKernel(3)
+		s := NewSystem(k, cfg, 64)
+		s.Run(600 * time.Second)
+		mean, complete, total := s.Log.MeshDelay()
+		if complete != total {
+			t.Fatalf("degree %d: %d/%d complete", degree, complete, total)
+		}
+		return mean
+	}
+	if d2, d8 := delay(2), delay(8); d8 <= d2 {
+		t.Fatalf("tree should degrade with fan-out: d2=%v d8=%v", d2, d8)
+	}
+}
+
+func TestPullDeliversAll(t *testing.T) {
+	cfg := small(Pull)
+	k := sim.NewKernel(4)
+	s := NewSystem(k, cfg, 48)
+	s.Run(300 * time.Second)
+	if s.ReceivedTotal() != int64(47*cfg.Stream.Count) {
+		t.Fatalf("pull incomplete: %d", s.ReceivedTotal())
+	}
+	by := s.Net.OverheadByKind()
+	if by[kBufferMap] == 0 || by[kRequest] == 0 {
+		t.Fatalf("pull must gossip maps and send requests: %v", by)
+	}
+	if by[kOffer] != 0 {
+		t.Fatal("pull must not send push offers")
+	}
+}
+
+func TestPushDeliversAll(t *testing.T) {
+	cfg := small(Push)
+	k := sim.NewKernel(4)
+	s := NewSystem(k, cfg, 48)
+	s.Run(300 * time.Second)
+	if s.ReceivedTotal() != int64(47*cfg.Stream.Count) {
+		t.Fatalf("push incomplete: %d", s.ReceivedTotal())
+	}
+	by := s.Net.OverheadByKind()
+	if by[kOffer] == 0 || by[kAccept] == 0 {
+		t.Fatalf("push must offer and accept: %v", by)
+	}
+	if by[kRequest] != 0 {
+		t.Fatal("push must not send pull requests")
+	}
+}
+
+func TestPushDuplicateOffersDeclined(t *testing.T) {
+	cfg := small(Push)
+	cfg.Neighbors = 16
+	k := sim.NewKernel(5)
+	s := NewSystem(k, cfg, 64)
+	s.Run(300 * time.Second)
+	by := s.Net.OverheadByKind()
+	if by[kDecline] == 0 {
+		t.Fatal("dense push should produce duplicate offers (declines)")
+	}
+	// Redundant chunk data itself should stay rare thanks to the handshake.
+	if dup := s.Duplicates(); dup > s.ReceivedTotal()/2 {
+		t.Fatalf("too many duplicate chunks: %d of %d", dup, s.ReceivedTotal())
+	}
+}
+
+func TestOverheadOrderingPullVsTree(t *testing.T) {
+	run := func(kind Kind) uint64 {
+		cfg := small(kind)
+		k := sim.NewKernel(6)
+		s := NewSystem(k, cfg, 48)
+		s.Run(300 * time.Second)
+		return s.Net.Overhead()
+	}
+	if run(Tree) != 0 {
+		t.Fatal("tree overhead must be zero")
+	}
+	if run(Pull) == 0 {
+		t.Fatal("pull overhead must be positive")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, uint64) {
+		cfg := small(Push)
+		k := sim.NewKernel(77)
+		s := NewSystem(k, cfg, 40)
+		s.Run(300 * time.Second)
+		return s.ReceivedTotal(), s.Net.Overhead()
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1 != r2 || o1 != o2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", r1, o1, r2, o2)
+	}
+}
+
+func TestChurnMeshSurvives(t *testing.T) {
+	for _, kind := range []Kind{Pull, Push} {
+		cfg := small(kind)
+		cfg.Stream.Count = 40
+		k := sim.NewKernel(8)
+		s := NewSystem(k, cfg, 64)
+		s.DisableCompletionStop()
+		d := churn.NewDriver(k, churn.Config{
+			MeanLife: 60 * time.Second, MeanJoin: 60 * time.Second / 63, GracefulFrac: 0.5,
+		}, func() churn.Peer { return s.SpawnPeer() })
+		for _, nd := range s.ViewerPeers() {
+			d.Track(nd)
+		}
+		d.StartArrivals()
+		s.Run(120 * time.Second)
+		if pct := s.Log.ReceivedPercent(120 * time.Second); pct < 60 {
+			t.Fatalf("%v under churn delivered only %.1f%%", kind, pct)
+		}
+	}
+}
+
+func TestChurnTreeCollapses(t *testing.T) {
+	cfg := small(Tree)
+	cfg.Stream.Count = 40
+	k := sim.NewKernel(8)
+	s := NewSystem(k, cfg, 64)
+	s.DisableCompletionStop()
+	d := churn.NewDriver(k, churn.Config{
+		MeanLife: 60 * time.Second, MeanJoin: 60 * time.Second / 63, GracefulFrac: 0.5,
+	}, func() churn.Peer { return s.SpawnPeer() })
+	for _, nd := range s.ViewerPeers() {
+		d.Track(nd)
+	}
+	d.StartArrivals()
+	s.Run(120 * time.Second)
+	tree := s.Log.ReceivedPercent(120 * time.Second)
+
+	// Compare against pull under identical churn.
+	cfgP := small(Pull)
+	cfgP.Stream.Count = 40
+	k2 := sim.NewKernel(8)
+	s2 := NewSystem(k2, cfgP, 64)
+	s2.DisableCompletionStop()
+	d2 := churn.NewDriver(k2, churn.Config{
+		MeanLife: 60 * time.Second, MeanJoin: 60 * time.Second / 63, GracefulFrac: 0.5,
+	}, func() churn.Peer { return s2.SpawnPeer() })
+	for _, nd := range s2.ViewerPeers() {
+		d2.Track(nd)
+	}
+	d2.StartArrivals()
+	s2.Run(120 * time.Second)
+	pull := s2.Log.ReceivedPercent(120 * time.Second)
+
+	if tree >= pull {
+		t.Fatalf("tree (%.1f%%) should be far below pull (%.1f%%) under churn", tree, pull)
+	}
+}
+
+func TestGracefulLeaveCleansNeighborSets(t *testing.T) {
+	cfg := small(Pull)
+	k := sim.NewKernel(9)
+	s := NewSystem(k, cfg, 24)
+	s.DisableCompletionStop()
+	victim := s.nodes[5]
+	k.At(2*time.Second, func() { victim.Depart(true) })
+	s.Run(60 * time.Second)
+	for _, nd := range s.nodes {
+		if nd == victim || !nd.alive {
+			continue
+		}
+		if _, still := nd.neighbors[victim.id]; still {
+			t.Fatalf("node %d still lists the departed node", nd.id)
+		}
+	}
+}
+
+func TestSpawnPeerJoinsMesh(t *testing.T) {
+	cfg := small(Push)
+	cfg.Stream.Count = 30
+	k := sim.NewKernel(10)
+	s := NewSystem(k, cfg, 32)
+	s.DisableCompletionStop()
+	var nd *node
+	k.At(5*time.Second, func() { nd = s.SpawnPeer() })
+	s.Run(200 * time.Second)
+	if nd == nil || len(nd.neighbors) == 0 {
+		t.Fatal("joiner has no neighbors")
+	}
+	missing := 0
+	for seq := nd.startSeq; seq < cfg.Stream.Count; seq++ {
+		if !nd.buf.Has(seq) {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("mesh joiner missing %d expected chunks", missing)
+	}
+}

@@ -1,0 +1,34 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/sim"
+)
+
+// TestBaselineSmoke checks each baseline fully disseminates a short stream.
+func TestBaselineSmoke(t *testing.T) {
+	for _, kind := range []Kind{Pull, Push, Tree} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig(kind)
+			cfg.Stream.Count = 10
+			cfg.Neighbors = 8
+			if kind == Tree {
+				cfg.Neighbors = 3
+			}
+			k := sim.NewKernel(7)
+			s := NewSystem(k, cfg, 64)
+			end := s.Run(200 * time.Second)
+			want := int64(63 * 10)
+			if s.ReceivedTotal() != want {
+				t.Fatalf("%v: received %d of %d (end %v, overhead %d)",
+					kind, s.ReceivedTotal(), want, end, s.Net.Overhead())
+			}
+			mean, complete, total := s.Log.MeshDelay()
+			t.Logf("%v: end=%v meshDelay=%v complete=%d/%d overhead=%d dup=%d",
+				kind, end, mean, complete, total, s.Net.Overhead(), s.Duplicates())
+		})
+	}
+}

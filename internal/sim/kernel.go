@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and a priority queue of scheduled events.
+// All simulated components schedule closures at absolute or relative virtual
+// times; Run drains the queue in time order. Two events at the same instant
+// fire in scheduling order (a monotonically increasing sequence number breaks
+// ties), so a simulation with a fixed seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled closure. Fire runs at the event's virtual time.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+	dead  bool
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. It is not safe for concurrent use; a
+// simulation runs on a single goroutine by design.
+type Kernel struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+	limit   time.Duration // 0 = no horizon
+}
+
+// NewKernel returns a kernel whose randomness is derived entirely from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source. All simulated
+// randomness must come from here so a seed fixes the whole run.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired reports how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (t <
+// now) panics: it would silently reorder causality.
+func (k *Kernel) At(t time.Duration, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v which is before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn after delay d (d < 0 is clamped to 0).
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn at now+d, then every period thereafter, until the
+// returned Ticker is stopped or the simulation ends.
+func (k *Kernel) Every(d, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.ev = k.After(d, t.tick)
+	return t
+}
+
+// Ticker re-arms a periodic event. Stop cancels future ticks.
+type Ticker struct {
+	k       *Kernel
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.k.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Stop halts Run after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// SetHorizon makes Run stop once virtual time would pass t. Events scheduled
+// exactly at t still fire.
+func (k *Kernel) SetHorizon(t time.Duration) { k.limit = t }
+
+// Run executes events in time order until the queue empties, Stop is called,
+// or the horizon passes. It returns the final virtual time.
+func (k *Kernel) Run() time.Duration {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		if k.limit > 0 && e.at > k.limit {
+			k.now = k.limit
+			return k.now
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events up to and including virtual time t, leaving later
+// events queued, and advances the clock to exactly t.
+func (k *Kernel) RunUntil(t time.Duration) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.at > t {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Pending reports the number of queued (possibly canceled) events.
+func (k *Kernel) Pending() int { return len(k.queue) }

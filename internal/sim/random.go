@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// Exponential draws an exponentially distributed duration with the given
+// mean, using the kernel's deterministic RNG. The paper's churn model
+// (§IV-D) uses exponential node lifetimes and join intervals.
+func (k *Kernel) Exponential(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := k.rng.Float64()
+	for u == 0 { // avoid log(0)
+		u = k.rng.Float64()
+	}
+	d := time.Duration(-math.Log(u) * float64(mean))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Uniform draws a duration uniformly from [lo, hi).
+func (k *Kernel) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(k.rng.Int63n(int64(hi-lo)))
+}
+
+// Jitter returns d perturbed by a multiplicative factor drawn uniformly from
+// [1-frac, 1+frac]. frac outside [0,1] is clamped.
+func (k *Kernel) Jitter(d time.Duration, frac float64) time.Duration {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	f := 1 + frac*(2*k.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExponentialMean(t *testing.T) {
+	k := NewKernel(5)
+	mean := 60 * time.Second
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += k.Exponential(mean)
+	}
+	got := float64(sum) / float64(n)
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Fatalf("empirical mean %v deviates from %v by more than 5%%", time.Duration(got), mean)
+	}
+}
+
+func TestExponentialNonNegativeAndZeroMean(t *testing.T) {
+	k := NewKernel(5)
+	if k.Exponential(0) != 0 || k.Exponential(-time.Second) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if k.Exponential(time.Millisecond) < 0 {
+			t.Fatal("negative sample")
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	k := NewKernel(5)
+	lo, hi := 2*time.Second, 5*time.Second
+	for i := 0; i < 1000; i++ {
+		d := k.Uniform(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("Uniform(%v,%v) = %v out of range", lo, hi, d)
+		}
+	}
+	if k.Uniform(hi, lo) != hi {
+		t.Fatal("inverted bounds should return lo")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	k := NewKernel(5)
+	d := 10 * time.Second
+	for i := 0; i < 1000; i++ {
+		j := k.Jitter(d, 0.2)
+		if j < 8*time.Second || j > 12*time.Second {
+			t.Fatalf("Jitter out of ±20%% band: %v", j)
+		}
+	}
+	if k.Jitter(d, 0) != d {
+		t.Fatal("zero-fraction jitter must be identity")
+	}
+	// Out-of-range fractions clamp rather than explode.
+	if j := k.Jitter(d, 5); j < 0 || j > 2*d {
+		t.Fatalf("clamped jitter out of [0,2d]: %v", j)
+	}
+}
+
+func TestExponentialTail(t *testing.T) {
+	// ~37% of samples should exceed the mean (memoryless property check).
+	k := NewKernel(11)
+	mean := time.Second
+	over := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if k.Exponential(mean) > mean {
+			over++
+		}
+	}
+	frac := float64(over) / float64(n)
+	if math.Abs(frac-1/math.E) > 0.02 {
+		t.Fatalf("P(X>mean) = %.3f, want ≈ 1/e", frac)
+	}
+}

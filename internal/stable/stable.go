@@ -1,0 +1,101 @@
+// Package stable implements the stable-node (coordinator candidate)
+// identification of §III-B1a: the longevity probability that a node stays
+// in the overlay past time t, computed with the Cox proportional-hazards
+// model (Eq. 1):
+//
+//	p_l(t) = 1 − h0(t) · exp(βᵀ z)
+//
+// with covariates z = (streaming quality, joining time-of-day). The paper
+// takes the covariates and coefficients from [42] without publishing fitted
+// values, so the coefficients are inputs here; DefaultModel supplies a
+// qualitative fit with the properties the paper relies on: nodes that have
+// stayed longer, buffer better, and joined at "sticky" hours score higher.
+package stable
+
+import (
+	"math"
+	"time"
+)
+
+// Covariates is the vector z of Eq. (1).
+type Covariates struct {
+	// BufferingLevel is the streaming-quality covariate: the number of
+	// consecutive chunks buffered ahead of the playback position.
+	BufferingLevel float64
+	// JoinHour is the time of day the node joined, in fractional hours
+	// [0, 24).
+	JoinHour float64
+}
+
+// Vector flattens the covariates in the order β expects.
+func (c Covariates) Vector() []float64 { return []float64{c.BufferingLevel, c.JoinHour} }
+
+// Model is a Cox proportional-hazards longevity model.
+type Model struct {
+	// Beta holds the coefficients β. Negative coefficients mean the
+	// covariate reduces the hazard (increases longevity).
+	Beta []float64
+	// Baseline is h0(t), the non-negative baseline hazard. It must be
+	// small enough that p_l stays within [0,1]; Longevity clamps regardless.
+	Baseline func(t time.Duration) float64
+}
+
+// DefaultModel returns a model with the qualitative shape the paper
+// assumes: hazard decays with session age (nodes that stayed long keep
+// staying, per [44]), a full buffer halves the hazard versus an empty one,
+// and evening joiners (prime-time viewers) are stickier.
+func DefaultModel() Model {
+	return Model{
+		// β1 < 0: each buffered chunk lowers the hazard ~1.5% — strong
+		// enough to separate smooth viewers from stallers, weak enough
+		// that session age stays the dominant factor (a brand-new node
+		// cannot buy stability with one full buffer).
+		// β2: hour effect, encoded via distance from 20:00 prime time.
+		Beta: []float64{-0.015, 0.02},
+		Baseline: func(t time.Duration) float64 {
+			// h0 decays from 0.5 toward 0.05 with a 60 s constant: a node
+			// alive for several lifetimes is very likely to stay.
+			return 0.05 + 0.45*math.Exp(-t.Seconds()/60)
+		},
+	}
+}
+
+// Longevity evaluates Eq. (1) and clamps into [0, 1].
+func (m Model) Longevity(t time.Duration, z Covariates) float64 {
+	v := z.Vector()
+	if len(v) != len(m.Beta) {
+		panic("stable: covariate/coefficient length mismatch")
+	}
+	dot := 0.0
+	for i, b := range m.Beta {
+		dot += b * v[i]
+	}
+	p := 1 - m.Baseline(t)*math.Exp(dot)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Classifier decides coordinator eligibility by thresholding longevity, the
+// test a lower-tier node runs periodically before volunteering for the DHT
+// (§III-B1b).
+type Classifier struct {
+	Model     Model
+	Threshold float64 // e.g. 0.8: stay-probability required to be "stable"
+}
+
+// NewClassifier returns a classifier with the given threshold over the
+// default model.
+func NewClassifier(threshold float64) Classifier {
+	return Classifier{Model: DefaultModel(), Threshold: threshold}
+}
+
+// IsStable reports whether a node with session age t and covariates z
+// qualifies as a stable node.
+func (c Classifier) IsStable(t time.Duration, z Covariates) bool {
+	return c.Model.Longevity(t, z) >= c.Threshold
+}

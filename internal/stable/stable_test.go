@@ -1,0 +1,80 @@
+package stable
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLongevityBounds(t *testing.T) {
+	m := DefaultModel()
+	for _, age := range []time.Duration{0, time.Second, time.Minute, time.Hour} {
+		for _, z := range []Covariates{
+			{}, {BufferingLevel: 60}, {BufferingLevel: 5, JoinHour: 23},
+		} {
+			p := m.Longevity(age, z)
+			if p < 0 || p > 1 {
+				t.Fatalf("p_l(%v, %+v) = %f outside [0,1]", age, z, p)
+			}
+		}
+	}
+}
+
+func TestLongevityIncreasesWithSessionAge(t *testing.T) {
+	m := DefaultModel()
+	z := Covariates{BufferingLevel: 10}
+	young := m.Longevity(5*time.Second, z)
+	old := m.Longevity(5*time.Minute, z)
+	if old <= young {
+		t.Fatalf("longevity should grow with session age: %f (old) <= %f (young)", old, young)
+	}
+}
+
+func TestBufferingLevelReducesHazard(t *testing.T) {
+	m := DefaultModel()
+	empty := m.Longevity(time.Minute, Covariates{BufferingLevel: 0})
+	full := m.Longevity(time.Minute, Covariates{BufferingLevel: 60})
+	if full <= empty {
+		t.Fatalf("well-buffered nodes must score higher: full=%f empty=%f", full, empty)
+	}
+}
+
+func TestClassifierThreshold(t *testing.T) {
+	c := NewClassifier(0.8)
+	z := Covariates{BufferingLevel: 30}
+	if c.IsStable(time.Second, z) {
+		t.Fatal("a brand-new node should not be stable at threshold 0.8")
+	}
+	if !c.IsStable(10*time.Minute, z) {
+		t.Fatal("a long-lived well-buffered node should be stable")
+	}
+	// A zero threshold accepts everyone.
+	if !NewClassifier(0).IsStable(0, Covariates{}) {
+		t.Fatal("threshold 0 should accept all")
+	}
+}
+
+func TestMismatchedCovariatesPanic(t *testing.T) {
+	m := Model{Beta: []float64{1}, Baseline: func(time.Duration) float64 { return 0.1 }}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("covariate length mismatch must panic")
+		}
+	}()
+	m.Longevity(time.Second, Covariates{})
+}
+
+func TestLongevityClamping(t *testing.T) {
+	// A pathological baseline > 1 must clamp to 0, not go negative.
+	m := Model{
+		Beta:     []float64{0, 0},
+		Baseline: func(time.Duration) float64 { return 5 },
+	}
+	if p := m.Longevity(0, Covariates{}); p != 0 {
+		t.Fatalf("clamp low failed: %f", p)
+	}
+	// A negative-hazard abuse clamps to 1.
+	m.Baseline = func(time.Duration) float64 { return -5 }
+	if p := m.Longevity(0, Covariates{}); p != 1 {
+		t.Fatalf("clamp high failed: %f", p)
+	}
+}

@@ -1,0 +1,145 @@
+package stream
+
+import "math/bits"
+
+// BufferMap summarizes which chunks a node holds, the structure mesh nodes
+// exchange every second in the pull/push baselines and the structure a DCO
+// node attaches to its chunk index (§III-B2, Fig. 3). It is a dynamically
+// growing bitset keyed by chunk sequence number with a movable base so the
+// window can slide forward as old chunks expire.
+type BufferMap struct {
+	base  int64 // first sequence represented by bit 0 of words[0]
+	words []uint64
+	count int
+}
+
+// NewBufferMap returns an empty map whose window starts at base.
+func NewBufferMap(base int64) *BufferMap { return &BufferMap{base: base} }
+
+// Base returns the first representable sequence number.
+func (b *BufferMap) Base() int64 { return b.base }
+
+// Set marks chunk seq as held. Sequences below the base are ignored (the
+// chunk already expired from the window).
+func (b *BufferMap) Set(seq int64) {
+	if seq < b.base {
+		return
+	}
+	off := seq - b.base
+	w := int(off / 64)
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	mask := uint64(1) << uint(off%64)
+	if b.words[w]&mask == 0 {
+		b.words[w] |= mask
+		b.count++
+	}
+}
+
+// Has reports whether chunk seq is held.
+func (b *BufferMap) Has(seq int64) bool {
+	if seq < b.base {
+		return false
+	}
+	off := seq - b.base
+	w := int(off / 64)
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(uint64(1)<<uint(off%64)) != 0
+}
+
+// Count returns how many chunks are held.
+func (b *BufferMap) Count() int { return b.count }
+
+// Advance slides the window base forward to newBase, discarding bits for
+// expired chunks. Moving backwards is a no-op.
+func (b *BufferMap) Advance(newBase int64) {
+	if newBase <= b.base {
+		return
+	}
+	shift := newBase - b.base
+	dropWords := int(shift / 64)
+	if dropWords >= len(b.words) {
+		b.words = b.words[:0]
+		b.base = newBase
+		b.count = 0
+		return
+	}
+	dropped := 0
+	for _, w := range b.words[:dropWords] {
+		dropped += bits.OnesCount64(w)
+	}
+	b.words = append(b.words[:0], b.words[dropWords:]...)
+	rem := uint(shift % 64)
+	if rem > 0 {
+		// Count bits shifted out of the first remaining word, then shift the
+		// whole array right by rem.
+		dropped += bits.OnesCount64(b.words[0] & ((uint64(1) << rem) - 1))
+		for i := 0; i < len(b.words); i++ {
+			b.words[i] >>= rem
+			if i+1 < len(b.words) {
+				b.words[i] |= b.words[i+1] << (64 - rem)
+			}
+		}
+	}
+	b.base = newBase
+	b.count -= dropped
+}
+
+// Missing returns up to max sequence numbers in [from, to] that are not
+// held, in ascending order. It is the request-scheduling primitive of the
+// pull baseline and of DCO's client loop. Fully-held words are skipped, so
+// the cost tracks the number of holes, not the width of the range.
+func (b *BufferMap) Missing(from, to int64, max int) []int64 {
+	var out []int64
+	s := from
+	if s < b.base {
+		s = b.base // everything below the base counts as missing below
+	}
+	for h := from; h < s && len(out) < max; h++ {
+		out = append(out, h)
+	}
+	for s <= to && len(out) < max {
+		off := s - b.base
+		w := int(off / 64)
+		if w >= len(b.words) {
+			// Past the stored words: everything is missing.
+			for ; s <= to && len(out) < max; s++ {
+				out = append(out, s)
+			}
+			return out
+		}
+		bit := uint(off % 64)
+		if bit == 0 && b.words[w] == ^uint64(0) && s+63 <= to {
+			s += 64 // fully-held word
+			continue
+		}
+		if b.words[w]&(uint64(1)<<bit) == 0 {
+			out = append(out, s)
+		}
+		s++
+	}
+	return out
+}
+
+// ConsecutiveFrom returns the length of the run of held chunks starting at
+// seq — the "buffering level" covariate of the stable-node model (§III-B1a:
+// number of consecutive blocks in the playback buffer starting from the
+// current playback position).
+func (b *BufferMap) ConsecutiveFrom(seq int64) int {
+	n := 0
+	for b.Has(seq + int64(n)) {
+		n++
+	}
+	return n
+}
+
+// Clone returns a deep copy (what actually travels in a buffer-map exchange
+// message).
+func (b *BufferMap) Clone() *BufferMap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &BufferMap{base: b.base, words: w, count: b.count}
+}

@@ -1,0 +1,162 @@
+// Package trace is a lightweight structured event recorder for the
+// simulator and the live node: protocols emit (time, node, kind, detail)
+// tuples into a bounded ring buffer that tests and tools inspect or dump.
+// Recording is cheap enough to leave compiled in; a nil *Recorder is a
+// valid no-op sink.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Duration // virtual (simulator) or wall-relative (live) time
+	Node   int64         // acting node, -1 when not applicable
+	Kind   string        // dotted event name, e.g. "fetch.timeout"
+	Detail string
+}
+
+// Recorder is a bounded ring of events. The zero value is unusable; create
+// with New. A nil Recorder ignores all calls.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+	kinds   map[string]uint64
+	only    map[string]bool // nil = record everything
+}
+
+// New returns a recorder keeping the last capacity events.
+func New(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, 0, capacity), kinds: make(map[string]uint64)}
+}
+
+// Filter restricts recording to the given kinds (counts still accumulate
+// for every kind). Passing none clears the filter.
+func (r *Recorder) Filter(kinds ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(kinds) == 0 {
+		r.only = nil
+		return
+	}
+	r.only = make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		r.only[k] = true
+	}
+}
+
+// Record appends an event. Safe on a nil receiver.
+func (r *Recorder) Record(at time.Duration, node int64, kind, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.kinds[kind]++
+	if r.only != nil && !r.only[kind] {
+		return
+	}
+	e := Event{At: at, Node: node, Kind: kind, Detail: detail}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+}
+
+// Recordf is Record with a formatted detail.
+func (r *Recorder) Recordf(at time.Duration, node int64, kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(at, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Count returns how many events of kind were recorded (including ones the
+// ring has since evicted or the filter suppressed).
+func (r *Recorder) Count(kind string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kinds[kind]
+}
+
+// Total returns the total events observed.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Summary writes per-kind counts, most frequent first.
+func (r *Recorder) Summary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	type kc struct {
+		kind string
+		n    uint64
+	}
+	rows := make([]kc, 0, len(r.kinds))
+	for k, n := range r.kinds {
+		rows = append(rows, kc{k, n})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].kind < rows[j].kind
+	})
+	for _, row := range rows {
+		fmt.Fprintf(w, "%10d  %s\n", row.n, row.kind)
+	}
+}
+
+// Dump writes every retained event, one per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "%12v node=%-5d %-24s %s\n", e.At, e.Node, e.Kind, e.Detail)
+	}
+}

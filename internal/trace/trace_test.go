@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 1, "x", "y")
+	r.Recordf(0, 1, "x", "%d", 1)
+	r.Filter("x")
+	if r.Events() != nil || r.Count("x") != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder should be a silent sink")
+	}
+	r.Summary(&strings.Builder{})
+	r.Dump(&strings.Builder{})
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New(10)
+	r.Record(sec(1), 5, "a", "one")
+	r.Recordf(sec(2), 6, "b", "n=%d", 2)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Kind != "a" || ev[1].Detail != "n=2" {
+		t.Fatalf("wrong events: %+v", ev)
+	}
+	if r.Count("a") != 1 || r.Count("b") != 1 || r.Total() != 2 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Recordf(sec(i), int64(i), "k", "%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Node != int64(4+i) {
+			t.Fatalf("wrong retention order: %+v", ev)
+		}
+	}
+	if r.Total() != 7 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestFilterStillCounts(t *testing.T) {
+	r := New(10)
+	r.Filter("keep")
+	r.Record(0, 1, "keep", "")
+	r.Record(0, 1, "drop", "")
+	if len(r.Events()) != 1 {
+		t.Fatal("filter did not drop")
+	}
+	if r.Count("drop") != 1 {
+		t.Fatal("filtered kinds must still count")
+	}
+	r.Filter() // clear
+	r.Record(0, 1, "drop", "")
+	if len(r.Events()) != 2 {
+		t.Fatal("clearing the filter should record everything again")
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	r := New(10)
+	r.Record(sec(1), 1, "b", "x")
+	r.Record(sec(2), 1, "a", "y")
+	r.Record(sec(3), 1, "a", "z")
+	var sum strings.Builder
+	r.Summary(&sum)
+	lines := strings.Split(strings.TrimSpace(sum.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "a") {
+		t.Fatalf("summary should list 'a' first:\n%s", sum.String())
+	}
+	var dump strings.Builder
+	r.Dump(&dump)
+	if !strings.Contains(dump.String(), "z") {
+		t.Fatal("dump missing detail")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	r := New(0) // clamps to 1
+	r.Record(0, 1, "a", "")
+	r.Record(0, 1, "b", "")
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Kind != "b" {
+		t.Fatalf("capacity-1 ring should keep the newest: %+v", ev)
+	}
+}

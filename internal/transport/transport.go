@@ -1,0 +1,345 @@
+// Package transport moves wire messages between live DCO nodes. It offers
+// two implementations behind one interface: TCP (production) and an
+// in-memory loopback (tests, single-process demos). Both use simple
+// request/response semantics: every sent request gets exactly one reply.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dco/internal/wire"
+)
+
+// Handler serves one request and returns the reply. Implementations must
+// be safe for concurrent calls.
+type Handler interface {
+	Serve(from string, req wire.Message) wire.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from string, req wire.Message) wire.Message
+
+// Serve calls f.
+func (f HandlerFunc) Serve(from string, req wire.Message) wire.Message { return f(from, req) }
+
+// Transport sends requests and hosts a handler.
+type Transport interface {
+	// Call sends req to addr and waits for the reply (or timeout).
+	Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error)
+	// Addr is this endpoint's dialable address.
+	Addr() string
+	// Close stops serving and releases resources.
+	Close() error
+}
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ---------------------------------------------------------------------------
+// TCP transport: one short-lived framed exchange per call, with a small
+// connection pool per destination to amortize dials.
+
+// TCP is the production transport.
+type TCP struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	pools  map[string][]net.Conn
+	active map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxPooledPerDest bounds idle connections kept per destination.
+const maxPooledPerDest = 4
+
+// ListenTCP starts a TCP transport on addr (e.g. "127.0.0.1:0") serving h.
+func ListenTCP(addr string, h Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{ln: ln, handler: h, pools: make(map[string][]net.Conn), active: make(map[net.Conn]bool)}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.active[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.active, conn)
+		t.mu.Unlock()
+	}()
+	remote := conn.RemoteAddr().String()
+	for {
+		// A generous per-exchange deadline keeps dead peers from pinning
+		// goroutines forever.
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		req, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		resp := t.handler.Serve(remote, req)
+		if resp == nil {
+			resp = &wire.Ack{}
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := wire.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Call dials (or reuses) a connection to addr, performs one framed
+// request/response exchange, and returns the reply.
+func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	conn, pooled, err := t.getConn(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := exchange(conn, req, deadline)
+	if err != nil && pooled {
+		// The pooled connection may have gone stale; retry once fresh.
+		conn.Close()
+		conn, _, err2 := t.dial(addr, time.Until(deadline))
+		if err2 != nil {
+			return nil, err2
+		}
+		resp, err = exchange(conn, req, deadline)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.putConn(addr, conn)
+	if e, ok := resp.(*wire.Error); ok {
+		return nil, e
+	}
+	return resp, nil
+}
+
+func exchange(conn net.Conn, req wire.Message, deadline time.Time) (wire.Message, error) {
+	_ = conn.SetDeadline(deadline)
+	if err := wire.WriteMessage(conn, req); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(conn)
+}
+
+func (t *TCP) getConn(addr string, timeout time.Duration) (net.Conn, bool, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	pool := t.pools[addr]
+	if n := len(pool); n > 0 {
+		conn := pool[n-1]
+		t.pools[addr] = pool[:n-1]
+		t.mu.Unlock()
+		return conn, true, nil
+	}
+	t.mu.Unlock()
+	return t.dial(addr, timeout)
+}
+
+func (t *TCP) dial(addr string, timeout time.Duration) (net.Conn, bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	return conn, false, nil
+}
+
+func (t *TCP) putConn(addr string, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.pools[addr]) >= maxPooledPerDest {
+		conn.Close()
+		return
+	}
+	t.pools[addr] = append(t.pools[addr], conn)
+}
+
+// Close shuts the listener and every pooled connection.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, pool := range t.pools {
+		for _, c := range pool {
+			c.Close()
+		}
+	}
+	t.pools = nil
+	for c := range t.active {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport: a process-local fabric keyed by synthetic addresses.
+
+// Fabric is a registry connecting in-memory endpoints. The zero value is
+// not usable; create one with NewFabric.
+type Fabric struct {
+	mu    sync.Mutex
+	nodes map[string]*Mem
+	next  int
+
+	// Latency, if set, is added to every call (demo realism).
+	Latency time.Duration
+}
+
+// NewFabric returns an empty in-memory network.
+func NewFabric() *Fabric { return &Fabric{nodes: make(map[string]*Mem)} }
+
+// Mem is one endpoint on a Fabric.
+type Mem struct {
+	fabric  *Fabric
+	addr    string
+	handler Handler
+	closed  bool
+	mu      sync.Mutex
+}
+
+// Attach registers a new endpoint serving h.
+func (f *Fabric) Attach(h Handler) *Mem {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next++
+	m := &Mem{fabric: f, addr: fmt.Sprintf("mem://%d", f.next), handler: h}
+	f.nodes[m.addr] = m
+	return m
+}
+
+// Addr returns the endpoint's synthetic address.
+func (m *Mem) Addr() string { return m.addr }
+
+// Call delivers req to the endpoint registered at addr.
+func (m *Mem) Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.mu.Unlock()
+
+	f := m.fabric
+	f.mu.Lock()
+	dst := f.nodes[addr]
+	lat := f.Latency
+	f.mu.Unlock()
+	if dst == nil {
+		return nil, fmt.Errorf("transport: no endpoint at %s", addr)
+	}
+	dst.mu.Lock()
+	closed := dst.closed
+	h := dst.handler
+	dst.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: endpoint %s is down", addr)
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	// Round-trip through the wire codec so the in-memory transport
+	// exercises exactly the bytes TCP would carry.
+	req2, err := roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp := h.Serve(m.addr, req2)
+	if resp == nil {
+		resp = &wire.Ack{}
+	}
+	resp2, err := roundTrip(resp)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp2.(*wire.Error); ok {
+		return nil, e
+	}
+	return resp2, nil
+}
+
+// Close detaches the endpoint; subsequent calls to it fail like a dead TCP
+// peer.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return nil
+}
+
+func roundTrip(msg wire.Message) (wire.Message, error) {
+	var buf memBuffer
+	if err := wire.WriteMessage(&buf, msg); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(&buf)
+}
+
+type memBuffer struct{ b []byte }
+
+func (m *memBuffer) Write(p []byte) (int, error) {
+	m.b = append(m.b, p...)
+	return len(p), nil
+}
+
+func (m *memBuffer) Read(p []byte) (int, error) {
+	if len(m.b) == 0 {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, m.b)
+	m.b = m.b[n:]
+	return n, nil
+}
+
+var (
+	_ Transport = (*TCP)(nil)
+	_ Transport = (*Mem)(nil)
+)

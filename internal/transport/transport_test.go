@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dco/internal/wire"
+)
+
+func echoHandler(from string, req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case *wire.Ping:
+		return &wire.Pong{}
+	case *wire.GetChunk:
+		return &wire.ChunkResp{Seq: m.Seq, OK: true, Data: []byte{byte(m.Seq)}}
+	case *wire.Error:
+		return m // reflect errors for the error-propagation test
+	default:
+		return &wire.Ack{}
+	}
+}
+
+func TestTCPPingPong(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	resp, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		t.Fatalf("got %T, want Pong", resp)
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+
+	for i := 0; i < 20; i++ {
+		resp, err := cli.Call(srv.Addr(), &wire.GetChunk{Seq: int64(i)}, time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if cr := resp.(*wire.ChunkResp); cr.Seq != int64(i) {
+			t.Fatalf("call %d answered with seq %d", i, cr.Seq)
+		}
+	}
+	cli.mu.Lock()
+	pooled := len(cli.pools[srv.Addr()])
+	cli.mu.Unlock()
+	if pooled == 0 {
+		t.Fatal("no connection was pooled across sequential calls")
+	}
+	if pooled > maxPooledPerDest {
+		t.Fatalf("pool overgrew: %d", pooled)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cli.Call(srv.Addr(), &wire.GetChunk{Seq: int64(i)}, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if cr := resp.(*wire.ChunkResp); cr.Seq != int64(i) {
+				errs <- &wire.Error{Msg: "response mismatch"}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCallToDeadAddressFails(t *testing.T) {
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	if _, err := cli.Call("127.0.0.1:1", &wire.Ping{}, 300*time.Millisecond); err == nil {
+		t.Fatal("call to a closed port succeeded")
+	}
+}
+
+func TestTCPErrorResponsePropagates(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(func(string, wire.Message) wire.Message {
+		return &wire.Error{Msg: "nope"}
+	}))
+	defer srv.Close()
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	_, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second)
+	if err == nil || err.Error() != "remote: nope" {
+		t.Fatalf("want remote error, got %v", err)
+	}
+}
+
+func TestTCPCloseUnblocksEverything(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	if _, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		cli.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+	if _, err := cli.Call(srv.Addr(), &wire.Ping{}, 200*time.Millisecond); err == nil {
+		t.Fatal("call on a closed transport succeeded")
+	}
+}
+
+func TestTCPStaleConnRetry(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	addr := srv.Addr()
+	if _, err := cli.Call(addr, &wire.Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server-side connections without telling the client: the
+	// pooled connection goes stale; the next call must transparently
+	// re-dial... and when the whole server is gone, fail cleanly.
+	srv.Close()
+	if _, err := cli.Call(addr, &wire.Ping{}, 300*time.Millisecond); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestFabricBasics(t *testing.T) {
+	f := NewFabric()
+	a := f.Attach(HandlerFunc(echoHandler))
+	b := f.Attach(HandlerFunc(echoHandler))
+	if a.Addr() == b.Addr() {
+		t.Fatal("duplicate fabric addresses")
+	}
+	resp, err := a.Call(b.Addr(), &wire.Ping{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		t.Fatalf("got %T", resp)
+	}
+	if _, err := a.Call("mem://404", &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("call to unknown endpoint succeeded")
+	}
+	b.Close()
+	if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("call to closed endpoint succeeded")
+	}
+	a.Close()
+	if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestFabricUsesWireEncoding(t *testing.T) {
+	// A message that cannot encode itself within limits must fail through
+	// the fabric the same way TCP would reject it.
+	f := NewFabric()
+	a := f.Attach(HandlerFunc(echoHandler))
+	b := f.Attach(HandlerFunc(echoHandler))
+	big := &wire.ChunkResp{Seq: 1, OK: true, Data: make([]byte, wire.MaxFrame)}
+	if _, err := a.Call(b.Addr(), big, time.Second); err == nil {
+		t.Fatal("oversized message crossed the fabric")
+	}
+}

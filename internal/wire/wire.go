@@ -1,0 +1,534 @@
+// Package wire defines the binary protocol the live (real-network) DCO
+// node speaks: a compact, length-prefixed framing with explicit field
+// encoding. Every RPC the simulated protocol performs — DHT routing steps,
+// stabilization, chunk index Insert/Lookup, chunk fetches, index handoff —
+// has a message pair here.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind tags a message.
+type Kind uint8
+
+// Message kinds. Requests and responses are distinct kinds so a frame is
+// self-describing.
+const (
+	KindInvalid Kind = iota
+	KindError
+	KindPing
+	KindPong
+	KindFindSuccessor
+	KindFindSuccessorResp
+	KindGetState
+	KindGetStateResp
+	KindNotify
+	KindAck
+	KindLookup
+	KindLookupResp
+	KindInsert
+	KindGetChunk
+	KindChunkResp
+	KindHandoff
+	KindLeave
+)
+
+// MaxFrame bounds a frame (type byte + payload). Chunks dominate; 4 MiB
+// accommodates seconds of HD video per chunk with headroom.
+const MaxFrame = 4 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated message")
+	ErrUnknownKind   = errors.New("wire: unknown message kind")
+)
+
+// Message is anything that can travel in a frame.
+type Message interface {
+	Kind() Kind
+	encode(b []byte) []byte
+	decode(r *reader) error
+}
+
+// Entry mirrors chord.Entry[string] on the wire.
+type Entry struct {
+	ID   uint64
+	Addr string
+}
+
+// ---------------------------------------------------------------------------
+// Concrete messages.
+
+// Error carries a failure back to the caller.
+type Error struct{ Msg string }
+
+// Ping checks liveness; Pong answers.
+type Ping struct{}
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// FindSuccessor asks the receiver for the next routing step toward Key.
+type FindSuccessor struct{ Key uint64 }
+
+// FindSuccessorResp: if Done, Owner is the key's owner; otherwise the
+// caller should continue at Owner (the closest preceding node).
+type FindSuccessorResp struct {
+	Done  bool
+	Owner Entry
+	// Populated when Done (join support):
+	Succs []Entry
+	Pred  Entry
+	OK    bool // Pred valid
+}
+
+// GetState fetches the receiver's predecessor and successor list
+// (stabilization).
+type GetState struct{}
+
+// GetStateResp answers GetState.
+type GetStateResp struct {
+	Pred   Entry
+	PredOK bool
+	Succs  []Entry
+}
+
+// Notify tells the receiver the sender may be its predecessor.
+type Notify struct{ From Entry }
+
+// Ack is the generic empty success reply.
+type Ack struct{}
+
+// Lookup asks the chunk's coordinator for providers. MaxWait is how long
+// the coordinator may hold the request waiting for a provider to register
+// (the paper's pending queue), in milliseconds.
+type Lookup struct {
+	Key     uint64
+	Seq     int64
+	MaxWait uint32
+}
+
+// LookupResp lists providers (possibly empty when MaxWait elapsed).
+type LookupResp struct {
+	Seq       int64
+	Providers []Entry
+}
+
+// Insert registers (or withdraws) a chunk index with its coordinator.
+type Insert struct {
+	Key        uint64
+	Seq        int64
+	Holder     Entry
+	UpBps      int64
+	BufCount   int64
+	Unregister bool
+}
+
+// GetChunk requests chunk data from a provider.
+type GetChunk struct{ Seq int64 }
+
+// ChunkResp returns chunk data; OK=false means the provider lacks it (or
+// turned the request away).
+type ChunkResp struct {
+	Seq  int64
+	OK   bool
+	Busy bool
+	Data []byte
+}
+
+// HandoffEntry is one chunk's index rows in a Handoff.
+type HandoffEntry struct {
+	Key       uint64
+	Seq       int64
+	Providers []Entry
+}
+
+// Handoff transfers index entries to their new owner.
+type Handoff struct{ Entries []HandoffEntry }
+
+// Leave announces a graceful departure to a ring neighbor.
+type Leave struct {
+	From    Entry
+	NewPred Entry
+	PredOK  bool
+	NewSucc []Entry
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+// WriteMessage frames and writes m: uint32 length, kind byte, payload.
+func WriteMessage(w io.Writer, m Message) error {
+	payload := m.encode(nil)
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(m.Kind())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m, err := New(Kind(buf[0]))
+	if err != nil {
+		return nil, err
+	}
+	rd := &reader{b: buf[1:]}
+	if err := m.decode(rd); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// New returns a zero message of the given kind.
+func New(k Kind) (Message, error) {
+	switch k {
+	case KindError:
+		return &Error{}, nil
+	case KindPing:
+		return &Ping{}, nil
+	case KindPong:
+		return &Pong{}, nil
+	case KindFindSuccessor:
+		return &FindSuccessor{}, nil
+	case KindFindSuccessorResp:
+		return &FindSuccessorResp{}, nil
+	case KindGetState:
+		return &GetState{}, nil
+	case KindGetStateResp:
+		return &GetStateResp{}, nil
+	case KindNotify:
+		return &Notify{}, nil
+	case KindAck:
+		return &Ack{}, nil
+	case KindLookup:
+		return &Lookup{}, nil
+	case KindLookupResp:
+		return &LookupResp{}, nil
+	case KindInsert:
+		return &Insert{}, nil
+	case KindGetChunk:
+		return &GetChunk{}, nil
+	case KindChunkResp:
+		return &ChunkResp{}, nil
+	case KindHandoff:
+		return &Handoff{}, nil
+	case KindLeave:
+		return &Leave{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Field codec: append-style writers, cursor-style reader.
+
+func putU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func putI64(b []byte, v int64) []byte { return putU64(b, uint64(v)) }
+
+func putU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func putBytes(b, v []byte) []byte {
+	b = putU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func putString(b []byte, s string) []byte { return putBytes(b, []byte(s)) }
+
+func putEntry(b []byte, e Entry) []byte {
+	b = putU64(b, e.ID)
+	return putString(b, e.Addr)
+}
+
+func putEntries(b []byte, es []Entry) []byte {
+	b = putU32(b, uint32(len(es)))
+	for _, e := range es {
+		b = putEntry(b, e)
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) boolean() bool {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v != 0
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || uint32(len(r.b)) < n {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) entry() Entry {
+	return Entry{ID: r.u64(), Addr: r.str()}
+}
+
+func (r *reader) entries() []Entry {
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/9 { // each entry is >= 12 bytes encoded
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.entry())
+	}
+	return out
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-message codecs.
+
+func (m *Error) Kind() Kind             { return KindError }
+func (m *Error) encode(b []byte) []byte { return putString(b, m.Msg) }
+func (m *Error) decode(r *reader) error { m.Msg = r.str(); return r.err }
+
+// Error implements the error interface so transports can surface it.
+func (m *Error) Error() string { return "remote: " + m.Msg }
+
+func (m *Ping) Kind() Kind             { return KindPing }
+func (m *Ping) encode(b []byte) []byte { return b }
+func (m *Ping) decode(*reader) error   { return nil }
+
+func (m *Pong) Kind() Kind             { return KindPong }
+func (m *Pong) encode(b []byte) []byte { return b }
+func (m *Pong) decode(*reader) error   { return nil }
+
+func (m *FindSuccessor) Kind() Kind             { return KindFindSuccessor }
+func (m *FindSuccessor) encode(b []byte) []byte { return putU64(b, m.Key) }
+func (m *FindSuccessor) decode(r *reader) error { m.Key = r.u64(); return r.err }
+
+func (m *FindSuccessorResp) Kind() Kind { return KindFindSuccessorResp }
+func (m *FindSuccessorResp) encode(b []byte) []byte {
+	b = putBool(b, m.Done)
+	b = putEntry(b, m.Owner)
+	b = putEntries(b, m.Succs)
+	b = putEntry(b, m.Pred)
+	return putBool(b, m.OK)
+}
+func (m *FindSuccessorResp) decode(r *reader) error {
+	m.Done = r.boolean()
+	m.Owner = r.entry()
+	m.Succs = r.entries()
+	m.Pred = r.entry()
+	m.OK = r.boolean()
+	return r.err
+}
+
+func (m *GetState) Kind() Kind             { return KindGetState }
+func (m *GetState) encode(b []byte) []byte { return b }
+func (m *GetState) decode(*reader) error   { return nil }
+
+func (m *GetStateResp) Kind() Kind { return KindGetStateResp }
+func (m *GetStateResp) encode(b []byte) []byte {
+	b = putEntry(b, m.Pred)
+	b = putBool(b, m.PredOK)
+	return putEntries(b, m.Succs)
+}
+func (m *GetStateResp) decode(r *reader) error {
+	m.Pred = r.entry()
+	m.PredOK = r.boolean()
+	m.Succs = r.entries()
+	return r.err
+}
+
+func (m *Notify) Kind() Kind             { return KindNotify }
+func (m *Notify) encode(b []byte) []byte { return putEntry(b, m.From) }
+func (m *Notify) decode(r *reader) error { m.From = r.entry(); return r.err }
+
+func (m *Ack) Kind() Kind             { return KindAck }
+func (m *Ack) encode(b []byte) []byte { return b }
+func (m *Ack) decode(*reader) error   { return nil }
+
+func (m *Lookup) Kind() Kind { return KindLookup }
+func (m *Lookup) encode(b []byte) []byte {
+	b = putU64(b, m.Key)
+	b = putI64(b, m.Seq)
+	return putU32(b, m.MaxWait)
+}
+func (m *Lookup) decode(r *reader) error {
+	m.Key = r.u64()
+	m.Seq = r.i64()
+	m.MaxWait = r.u32()
+	return r.err
+}
+
+func (m *LookupResp) Kind() Kind { return KindLookupResp }
+func (m *LookupResp) encode(b []byte) []byte {
+	b = putI64(b, m.Seq)
+	return putEntries(b, m.Providers)
+}
+func (m *LookupResp) decode(r *reader) error {
+	m.Seq = r.i64()
+	m.Providers = r.entries()
+	return r.err
+}
+
+func (m *Insert) Kind() Kind { return KindInsert }
+func (m *Insert) encode(b []byte) []byte {
+	b = putU64(b, m.Key)
+	b = putI64(b, m.Seq)
+	b = putEntry(b, m.Holder)
+	b = putI64(b, m.UpBps)
+	b = putI64(b, m.BufCount)
+	return putBool(b, m.Unregister)
+}
+func (m *Insert) decode(r *reader) error {
+	m.Key = r.u64()
+	m.Seq = r.i64()
+	m.Holder = r.entry()
+	m.UpBps = r.i64()
+	m.BufCount = r.i64()
+	m.Unregister = r.boolean()
+	return r.err
+}
+
+func (m *GetChunk) Kind() Kind             { return KindGetChunk }
+func (m *GetChunk) encode(b []byte) []byte { return putI64(b, m.Seq) }
+func (m *GetChunk) decode(r *reader) error { m.Seq = r.i64(); return r.err }
+
+func (m *ChunkResp) Kind() Kind { return KindChunkResp }
+func (m *ChunkResp) encode(b []byte) []byte {
+	b = putI64(b, m.Seq)
+	b = putBool(b, m.OK)
+	b = putBool(b, m.Busy)
+	return putBytes(b, m.Data)
+}
+func (m *ChunkResp) decode(r *reader) error {
+	m.Seq = r.i64()
+	m.OK = r.boolean()
+	m.Busy = r.boolean()
+	m.Data = append([]byte(nil), r.bytes()...)
+	return r.err
+}
+
+func (m *Handoff) Kind() Kind { return KindHandoff }
+func (m *Handoff) encode(b []byte) []byte {
+	b = putU32(b, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = putU64(b, e.Key)
+		b = putI64(b, e.Seq)
+		b = putEntries(b, e.Providers)
+	}
+	return b
+}
+func (m *Handoff) decode(r *reader) error {
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/17 {
+		r.fail()
+		return r.err
+	}
+	m.Entries = make([]HandoffEntry, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var e HandoffEntry
+		e.Key = r.u64()
+		e.Seq = r.i64()
+		e.Providers = r.entries()
+		m.Entries = append(m.Entries, e)
+	}
+	return r.err
+}
+
+func (m *Leave) Kind() Kind { return KindLeave }
+func (m *Leave) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	b = putEntry(b, m.NewPred)
+	b = putBool(b, m.PredOK)
+	return putEntries(b, m.NewSucc)
+}
+func (m *Leave) decode(r *reader) error {
+	m.From = r.entry()
+	m.NewPred = r.entry()
+	m.PredOK = r.boolean()
+	m.NewSucc = r.entries()
+	return r.err
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("write %T: %v", m, err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read %T: %v", m, err)
+	}
+	return out
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	e1 := Entry{ID: 0xDEADBEEF, Addr: "10.0.0.1:4000"}
+	e2 := Entry{ID: 42, Addr: "peer.example:9"}
+	msgs := []Message{
+		&Error{Msg: "boom"},
+		&Ping{},
+		&Pong{},
+		&FindSuccessor{Key: 0xFFFFFFFFFFFFFFFF},
+		&FindSuccessorResp{Done: true, Owner: e1, Succs: []Entry{e1, e2}, Pred: e2, OK: true},
+		&FindSuccessorResp{Done: false, Owner: e2},
+		&GetState{},
+		&GetStateResp{Pred: e1, PredOK: true, Succs: []Entry{e2}},
+		&Notify{From: e1},
+		&Ack{},
+		&Lookup{Key: 7, Seq: -3, MaxWait: 1500},
+		&LookupResp{Seq: 9, Providers: []Entry{e1, e2}},
+		&LookupResp{Seq: 9},
+		&Insert{Key: 1, Seq: 2, Holder: e1, UpBps: 600000, BufCount: 10, Unregister: true},
+		&GetChunk{Seq: 123456789},
+		&ChunkResp{Seq: 5, OK: true, Data: []byte{1, 2, 3}},
+		&ChunkResp{Seq: 5, Busy: true},
+		&Handoff{Entries: []HandoffEntry{{Key: 1, Seq: 2, Providers: []Entry{e1}}, {Key: 3, Seq: 4}}},
+		&Leave{From: e1, NewPred: e2, PredOK: true, NewSucc: []Entry{e1}},
+		&Leave{From: e2},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T round-trip mismatch:\n  sent %#v\n  got  %#v", m, m, got)
+		}
+	}
+}
+
+func TestRoundTripEmptyCollections(t *testing.T) {
+	// nil vs empty slices: the codec may decode nil for empty; the
+	// semantics must survive regardless.
+	m := &GetStateResp{}
+	got := roundTrip(t, m).(*GetStateResp)
+	if got.PredOK || len(got.Succs) != 0 {
+		t.Fatalf("empty GetStateResp mutated: %#v", got)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteMessage(&buf, &GetChunk{Seq: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.(*GetChunk).Seq != int64(i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("expected EOF-ish error on drained stream")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	big := &ChunkResp{Seq: 1, OK: true, Data: make([]byte, MaxFrame)}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, big); err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// A forged oversized header must be rejected before allocation.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&hdr); err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge on read, got %v", err)
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 0xEE})
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTruncatedPayloadsNeverPanic(t *testing.T) {
+	// Fuzz-ish robustness: valid frames truncated at every byte boundary
+	// must produce errors, not panics.
+	e1 := Entry{ID: 9, Addr: "a:1"}
+	full := func() []byte {
+		var buf bytes.Buffer
+		_ = WriteMessage(&buf, &FindSuccessorResp{Done: true, Owner: e1, Succs: []Entry{e1, e1}, Pred: e1, OK: true})
+		return buf.Bytes()
+	}()
+	for cut := 5; cut < len(full); cut++ {
+		frame := append([]byte(nil), full[:cut]...)
+		// Fix up the length header to claim only the truncated payload.
+		frame[0], frame[1], frame[2], frame[3] = 0, 0, 0, byte(cut-4)
+		if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+			// Some prefixes happen to parse (e.g. fewer list items); that
+			// is fine as long as nothing panicked.
+			continue
+		}
+	}
+}
+
+func TestRandomJunkNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := 5 + rng.Intn(64)
+		junk := make([]byte, n)
+		rng.Read(junk)
+		junk[0], junk[1], junk[2] = 0, 0, 0
+		junk[3] = byte(n - 4)
+		junk[4] = byte(1 + rng.Intn(16)) // a known kind
+		_, _ = ReadMessage(bytes.NewReader(junk))
+	}
+}
+
+func TestReadFromShortStream(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, &Ping{})
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("short stream (%d bytes) parsed", cut)
+		}
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var err error = &Error{Msg: "x"}
+	if err.Error() != "remote: x" {
+		t.Fatalf("error text %q", err.Error())
+	}
+}
+
+func TestChunkRespDataIsCopied(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, &ChunkResp{Seq: 1, OK: true, Data: []byte{1, 2, 3}})
+	raw := buf.Bytes()
+	m, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the source buffer must not affect the decoded payload.
+	for i := range raw {
+		raw[i] = 0xFF
+	}
+	if got := m.(*ChunkResp).Data; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("decoded data aliases the input buffer: %v", got)
+	}
+}
+
+func TestWriteToFailingWriter(t *testing.T) {
+	if err := WriteMessage(failWriter{}, &Ping{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func BenchmarkEncodeDecodeLookupResp(b *testing.B) {
+	m := &LookupResp{Seq: 42, Providers: []Entry{
+		{ID: 1, Addr: "10.0.0.1:7001"}, {ID: 2, Addr: "10.0.0.2:7002"}, {ID: 3, Addr: "10.0.0.3:7003"},
+	}}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteMessage(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeChunkResp(b *testing.B) {
+	m := &ChunkResp{Seq: 42, OK: true, Data: make([]byte, 64*1024)}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.SetBytes(int64(len(m.Data)))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteMessage(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
