@@ -19,10 +19,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"dco/internal/faulty"
 	"dco/internal/live"
 	"dco/internal/stream"
 	"dco/internal/transport"
@@ -31,7 +33,7 @@ import (
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		join      = flag.String("join", "", "bootstrap address of any ring member (omit for the first node)")
+		join      = flag.String("join", "", "comma-separated bootstrap addresses of ring members (omit for the first node)")
 		source    = flag.Bool("source", false, "act as the stream source")
 		channel   = flag.String("channel", "LIVE", "channel name")
 		chunks    = flag.Int64("chunks", 0, "stream length (0 = endless)")
@@ -40,6 +42,25 @@ func main() {
 		startSeq  = flag.Int64("start", 0, "first chunk to fetch (viewers)")
 		verbosity = flag.Int("v", 1, "0 = quiet, 1 = progress, 2 = per chunk")
 		out       = flag.String("out", "", "write received chunks, in order, to this file ('-' = stdout)")
+
+		// Resilience knobs (see DESIGN.md, "Failure model of the live stack").
+		retryAttempts   = flag.Int("retry-attempts", 3, "attempts per idempotent RPC (1 disables retries)")
+		retryBackoff    = flag.Duration("retry-backoff", 30*time.Millisecond, "initial retry backoff")
+		retryMaxBackoff = flag.Duration("retry-max-backoff", 500*time.Millisecond, "retry backoff cap")
+		retryBudget     = flag.Duration("retry-budget", 3*time.Second, "total wall-clock budget per retried RPC (0 = attempts only)")
+		breakerThresh   = flag.Int("breaker-threshold", 5, "consecutive failures that open a peer's circuit (0 disables the breaker)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit rejects before a half-open probe")
+		providerCool    = flag.Duration("provider-cooldown", 2*time.Second, "blacklist duration for a provider that failed a chunk transfer (0 disables)")
+		joinAttempts    = flag.Int("join-attempts", 3, "rounds over the -join list before giving up")
+		maxFrameKB      = flag.Int("max-frame-kb", 0, "per-connection frame size cap in KiB (0 = wire protocol default)")
+
+		// Fault injection (testing/chaos drills; off by default).
+		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		faultDrop     = flag.Float64("fault-drop", 0, "probability a call is dropped (0 disables)")
+		faultRefuse   = flag.Float64("fault-refuse", 0, "probability a call is refused immediately")
+		faultDup      = flag.Float64("fault-dup", 0, "probability a call is delivered twice")
+		faultDelay    = flag.Float64("fault-delay", 0, "probability a call is delayed")
+		faultMaxDelay = flag.Duration("fault-max-delay", 200*time.Millisecond, "upper bound for injected delays")
 	)
 	flag.Parse()
 
@@ -51,6 +72,26 @@ func main() {
 		ChunkBits: *chunkKB * 8 * 1024,
 		Period:    *period,
 		Count:     *chunks,
+	}
+	cfg.Retry.MaxAttempts = *retryAttempts
+	cfg.Retry.InitialBackoff = *retryBackoff
+	cfg.Retry.MaxBackoff = *retryMaxBackoff
+	cfg.Retry.Budget = *retryBudget
+	cfg.Breaker.Threshold = *breakerThresh
+	cfg.Breaker.Cooldown = *breakerCooldown
+	cfg.ProviderCooldown = *providerCool
+	cfg.JoinAttempts = *joinAttempts
+
+	var inj *faulty.Injector
+	if *faultDrop > 0 || *faultRefuse > 0 || *faultDup > 0 || *faultDelay > 0 {
+		inj = faulty.NewInjector(*faultSeed)
+		inj.SetDefaultRule(faulty.Rule{
+			Drop:      *faultDrop,
+			Refuse:    *faultRefuse,
+			Duplicate: *faultDup,
+			Delay:     *faultDelay,
+			DelayBy:   *faultMaxDelay,
+		})
 	}
 
 	var sink *orderedSink
@@ -77,7 +118,17 @@ func main() {
 	}
 
 	node, err := live.NewNode(cfg, func(h transport.Handler) (transport.Transport, error) {
-		return transport.ListenTCP(*listen, h)
+		tcp, err := transport.ListenTCP(*listen, h)
+		if err != nil {
+			return nil, err
+		}
+		if *maxFrameKB > 0 {
+			tcp.SetMaxFrameSize(uint32(*maxFrameKB) * 1024)
+		}
+		if inj == nil {
+			return tcp, nil
+		}
+		return inj.Wrap(tcp), nil
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dconode: %v\n", err)
@@ -90,7 +141,11 @@ func main() {
 	fmt.Printf("dconode %s listening on %s (ring id %s)\n", role, node.Addr(), node.ID())
 
 	if *join != "" {
-		if err := node.Join(*join); err != nil {
+		bootstraps := strings.Split(*join, ",")
+		for i := range bootstraps {
+			bootstraps[i] = strings.TrimSpace(bootstraps[i])
+		}
+		if err := node.JoinAny(bootstraps); err != nil {
 			fmt.Fprintf(os.Stderr, "dconode: join %s: %v\n", *join, err)
 			os.Exit(1)
 		}
@@ -115,9 +170,10 @@ func main() {
 			if *verbosity >= 1 {
 				st := node.Stats()
 				_, succ := node.Successor()
-				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d succ=%s\n",
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d succ=%s\n",
 					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
-					st.FetchRetries, st.BusyRejections, succ)
+					st.FetchRetries, st.BusyRejections,
+					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted, succ)
 			}
 			if *chunks > 0 && !*source && int64(node.ChunkCount()) >= *chunks {
 				fmt.Println("stream complete; leaving")

@@ -1,0 +1,285 @@
+// Package faulty decorates a transport.Transport with deterministic,
+// seeded fault injection so live-stack tests can script failures
+// reproducibly. Faults are decided per directed (src, dst) pair from a
+// counter hashed with the seed: the nth call from A to B suffers the same
+// fate in every run with that seed, regardless of how goroutines
+// interleave across pairs. This matches the repo's reproducibility rule
+// (same seed ⇒ same fault schedule) without requiring a deterministic
+// scheduler.
+//
+// Supported faults: message drop (surfaces as a transport error, the
+// compressed form of a timeout), connection refused, added delay,
+// duplicate delivery (the request is served twice — exercising handler
+// idempotency), and partition sets that cut groups of addresses off from
+// each other.
+package faulty
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// Rule is the fault mix applied to calls toward one destination (or, as
+// the default rule, toward every destination without a specific rule).
+// Probabilities are independent and checked in the order: refuse, drop,
+// duplicate, delay.
+type Rule struct {
+	// Refuse is P(call fails instantly, like a connection refused).
+	Refuse float64
+	// Drop is P(request is lost; the caller sees a transport error after
+	// DropLatency, modeling a timeout without paying real timeout waits).
+	Drop float64
+	// DropLatency is how long a dropped call appears to take (default 0).
+	DropLatency time.Duration
+	// Duplicate is P(request is delivered twice; the caller gets the
+	// second reply). Receivers must be idempotent — this verifies it.
+	Duplicate float64
+	// Delay is P(DelayBy is added before delivery).
+	Delay float64
+	// DelayBy is the injected latency; the actual delay is uniform in
+	// (0, DelayBy] drawn from the seeded schedule.
+	DelayBy time.Duration
+}
+
+// Action is the outcome chosen for one call.
+type Action uint8
+
+// Actions.
+const (
+	Pass Action = iota
+	Refused
+	Dropped
+	Duplicated
+	Delayed
+	Partitioned
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Refused:
+		return "refused"
+	case Dropped:
+		return "dropped"
+	case Duplicated:
+		return "duplicated"
+	case Delayed:
+		return "delayed"
+	case Partitioned:
+		return "partitioned"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision records what the injector did to one call.
+type Decision struct {
+	Src, Dst string
+	Seq      uint64 // per-(src,dst) call counter, starting at 0
+	Action   Action
+	Delay    time.Duration
+}
+
+// Error is the injected failure type, distinguishable from real
+// transport errors in assertions.
+type Error struct {
+	Action Action
+	Dst    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faulty: %s → %s (injected)", e.Action, e.Dst)
+}
+
+// maxHistory bounds the retained decision log (old entries drop).
+const maxHistory = 1 << 17
+
+// Injector owns the fault schedule and wraps transports. One Injector is
+// shared by every endpoint of a test network so partitions can be
+// expressed symmetrically.
+type Injector struct {
+	seed uint64
+
+	mu       sync.Mutex
+	def      Rule
+	rules    map[string]Rule   // per destination address
+	seqs     map[string]uint64 // per "src|dst" counter
+	groups   map[string]int    // partition group per address (0 = none)
+	history  []Decision
+	injected uint64 // non-pass decisions
+}
+
+// NewInjector builds an injector with the given schedule seed.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		seed:   seed,
+		rules:  make(map[string]Rule),
+		seqs:   make(map[string]uint64),
+		groups: make(map[string]int),
+	}
+}
+
+// SetDefaultRule installs the rule used for destinations without a
+// specific rule.
+func (in *Injector) SetDefaultRule(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.def = r
+}
+
+// SetRule installs a destination-specific rule.
+func (in *Injector) SetRule(dst string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[dst] = r
+}
+
+// Partition assigns each address set to its own group; calls between
+// different groups fail as Partitioned. Addresses never assigned (or in
+// group sets from a later call replacing them) communicate freely with
+// everyone. Calling Partition replaces all previous assignments.
+func (in *Injector) Partition(sets ...[]string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.groups = make(map[string]int)
+	for i, set := range sets {
+		for _, addr := range set {
+			in.groups[addr] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.groups = make(map[string]int)
+}
+
+// History returns a copy of the decision log (most recent maxHistory
+// entries, in decision order).
+func (in *Injector) History() []Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Decision(nil), in.history...)
+}
+
+// Injected returns how many calls received a non-pass decision.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Wrap decorates tr with this injector's fault schedule. The wrapped
+// transport serves inbound traffic untouched; only outbound Calls are
+// subject to faults (each call is judged once, at the caller).
+func (in *Injector) Wrap(tr transport.Transport) transport.Transport {
+	return &faultTransport{in: in, inner: tr}
+}
+
+// decide rolls the deterministic schedule for the next call src→dst.
+func (in *Injector) decide(src, dst string) Decision {
+	in.mu.Lock()
+	key := src + "|" + dst
+	seq := in.seqs[key]
+	in.seqs[key]++
+	rule, ok := in.rules[dst]
+	if !ok {
+		rule = in.def
+	}
+	sg, dg := in.groups[src], in.groups[dst]
+	in.mu.Unlock()
+
+	d := Decision{Src: src, Dst: dst, Seq: seq, Action: Pass}
+	switch {
+	case sg != 0 && dg != 0 && sg != dg:
+		d.Action = Partitioned
+	case roll(in.seed, key, seq, 0) < rule.Refuse:
+		d.Action = Refused
+	case roll(in.seed, key, seq, 1) < rule.Drop:
+		d.Action = Dropped
+		d.Delay = rule.DropLatency
+	case roll(in.seed, key, seq, 2) < rule.Duplicate:
+		d.Action = Duplicated
+	case roll(in.seed, key, seq, 3) < rule.Delay:
+		d.Action = Delayed
+		d.Delay = time.Duration(roll(in.seed, key, seq, 4) * float64(rule.DelayBy))
+	}
+
+	in.mu.Lock()
+	if len(in.history) >= maxHistory {
+		in.history = in.history[1:]
+	}
+	in.history = append(in.history, d)
+	if d.Action != Pass {
+		in.injected++
+	}
+	in.mu.Unlock()
+	return d
+}
+
+// roll maps (seed, pair, call counter, fault lane) to a uniform float in
+// [0, 1). Pure function — the heart of the reproducibility guarantee.
+func roll(seed uint64, key string, seq uint64, lane uint64) float64 {
+	// FNV-1a over the pair key, then splitmix64 finalization mixing in
+	// the seed, counter, and lane.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	x := h ^ seed ^ (seq * 0x9E3779B97F4A7C15) ^ (lane << 56)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// faultTransport applies the injector's schedule to outbound calls.
+type faultTransport struct {
+	in    *Injector
+	inner transport.Transport
+}
+
+// Addr returns the wrapped transport's address.
+func (f *faultTransport) Addr() string { return f.inner.Addr() }
+
+// Close closes the wrapped transport.
+func (f *faultTransport) Close() error { return f.inner.Close() }
+
+// Call applies one scheduled decision, then delegates to the inner
+// transport (zero, one, or two times).
+func (f *faultTransport) Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	d := f.in.decide(f.inner.Addr(), addr)
+	switch d.Action {
+	case Partitioned:
+		return nil, &Error{Action: Partitioned, Dst: addr}
+	case Refused:
+		return nil, &Error{Action: Refused, Dst: addr}
+	case Dropped:
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		return nil, &Error{Action: Dropped, Dst: addr}
+	case Duplicated:
+		if _, err := f.inner.Call(addr, req, timeout); err != nil {
+			return nil, err
+		}
+		return f.inner.Call(addr, req, timeout)
+	case Delayed:
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+	}
+	return f.inner.Call(addr, req, timeout)
+}
+
+var _ transport.Transport = (*faultTransport)(nil)

@@ -1,0 +1,215 @@
+package faulty
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+func pongHandler(counter *atomic.Int64) transport.HandlerFunc {
+	return func(from string, req wire.Message) wire.Message {
+		if counter != nil {
+			counter.Add(1)
+		}
+		return &wire.Pong{}
+	}
+}
+
+// script runs the same call sequence through an injector and returns the
+// decision log.
+func script(seed uint64, rule Rule, calls int) []Decision {
+	in := NewInjector(seed)
+	in.SetDefaultRule(rule)
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := in.Wrap(f.Attach(pongHandler(nil)))
+	c := in.Wrap(f.Attach(pongHandler(nil)))
+	for i := 0; i < calls; i++ {
+		_, _ = a.Call(b.Addr(), &wire.Ping{}, time.Second)
+		_, _ = a.Call(c.Addr(), &wire.Ping{}, time.Second)
+		_, _ = b.Call(c.Addr(), &wire.Ping{}, time.Second)
+	}
+	return in.History()
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	rule := Rule{Drop: 0.2, Refuse: 0.05, Duplicate: 0.05, Delay: 0.1, DelayBy: time.Microsecond}
+	a := script(7, rule, 200)
+	b := script(7, rule, 200)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	rule := Rule{Drop: 0.3}
+	a := script(1, rule, 200)
+	b := script(2, rule, 200)
+	diff := 0
+	for i := range a {
+		if a[i].Action != b[i].Action {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestScheduleIsPerPairNotInterleaving(t *testing.T) {
+	// The fate of the nth A→B call must not depend on how many other
+	// calls happened in between.
+	rule := Rule{Drop: 0.5}
+	mk := func(noise bool) []Action {
+		in := NewInjector(99)
+		in.SetDefaultRule(rule)
+		f := transport.NewFabric()
+		a := in.Wrap(f.Attach(pongHandler(nil)))
+		b := in.Wrap(f.Attach(pongHandler(nil)))
+		c := in.Wrap(f.Attach(pongHandler(nil)))
+		var acts []Action
+		for i := 0; i < 100; i++ {
+			if noise {
+				_, _ = c.Call(b.Addr(), &wire.Ping{}, time.Second)
+				_, _ = b.Call(a.Addr(), &wire.Ping{}, time.Second)
+			}
+			before := in.Injected()
+			_, err := a.Call(b.Addr(), &wire.Ping{}, time.Second)
+			_ = before
+			if err != nil {
+				acts = append(acts, Dropped)
+			} else {
+				acts = append(acts, Pass)
+			}
+		}
+		return acts
+	}
+	quiet, noisy := mk(false), mk(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("A→B call %d changed fate under interleaving: %v vs %v", i, quiet[i], noisy[i])
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	rule := Rule{Drop: 0.2}
+	hist := script(5, rule, 1000)
+	dropped := 0
+	for _, d := range hist {
+		if d.Action == Dropped {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / float64(len(hist))
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("drop fraction %.3f, configured 0.2", frac)
+	}
+}
+
+func TestRefuseAndDropSurfaceAsErrors(t *testing.T) {
+	in := NewInjector(1)
+	in.SetRule("victim", Rule{Drop: 1})
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := f.Attach(pongHandler(nil))
+	in.SetRule(b.Addr(), Rule{Refuse: 1})
+	_, err := a.Call(b.Addr(), &wire.Ping{}, time.Second)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Action != Refused {
+		t.Fatalf("err=%v, want injected refusal", err)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	in := NewInjector(1)
+	f := transport.NewFabric()
+	var served atomic.Int64
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := f.Attach(pongHandler(&served))
+	in.SetRule(b.Addr(), Rule{Duplicate: 1})
+	resp, err := a.Call(b.Addr(), &wire.Ping{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		t.Fatalf("resp=%T", resp)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("handler served %d times, want 2", got)
+	}
+}
+
+func TestDelayInjectsLatency(t *testing.T) {
+	in := NewInjector(1)
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := f.Attach(pongHandler(nil))
+	in.SetRule(b.Addr(), Rule{Delay: 1, DelayBy: 30 * time.Millisecond})
+	// With Delay=1 every call pays a uniform (0, 30ms] delay; over a few
+	// calls at least one must be measurably slow.
+	var max time.Duration
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d > max {
+			max = d
+		}
+	}
+	if max < 2*time.Millisecond {
+		t.Fatalf("max observed latency %v; injected delay absent", max)
+	}
+}
+
+func TestPartitionBlocksAcrossGroupsOnly(t *testing.T) {
+	in := NewInjector(1)
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := in.Wrap(f.Attach(pongHandler(nil)))
+	c := in.Wrap(f.Attach(pongHandler(nil)))
+	in.Partition([]string{a.Addr()}, []string{b.Addr()})
+
+	if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("call crossed the partition")
+	}
+	if _, err := b.Call(a.Addr(), &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("partition not symmetric")
+	}
+	// c is unassigned: reaches both sides.
+	if _, err := c.Call(a.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatalf("unassigned node blocked: %v", err)
+	}
+	if _, err := c.Call(b.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatalf("unassigned node blocked: %v", err)
+	}
+	in.Heal()
+	if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatalf("healed partition still blocks: %v", err)
+	}
+}
+
+func TestWrapPassesThroughCleanly(t *testing.T) {
+	in := NewInjector(1) // zero rules: everything passes
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := in.Wrap(f.Attach(pongHandler(nil)))
+	for i := 0; i < 50; i++ {
+		if _, err := a.Call(b.Addr(), &wire.Ping{}, time.Second); err != nil {
+			t.Fatalf("clean injector failed call %d: %v", i, err)
+		}
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("injected %d faults with empty rules", in.Injected())
+	}
+}

@@ -1,0 +1,232 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/retry"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// resilientConfig is fastConfig with test-scaled retry/breaker settings.
+func resilientConfig(source bool) Config {
+	cfg := fastConfig(source)
+	cfg.Retry = retry.Policy{
+		MaxAttempts:    3,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.5,
+		Budget:         time.Second,
+	}
+	cfg.Breaker = retry.BreakerConfig{Threshold: 5, Cooldown: 500 * time.Millisecond}
+	cfg.ProviderCooldown = 400 * time.Millisecond
+	cfg.JoinAttempts = 2
+	return cfg
+}
+
+// TestJoinAnyFailsOverDeadBootstrap: a dead first bootstrap must not kill
+// the join when a live one follows it (the old Join died on the first
+// error).
+func TestJoinAnyFailsOverDeadBootstrap(t *testing.T) {
+	f := transport.NewFabric()
+	alive, err := NewNode(resilientConfig(true), memAttach(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alive.Close()
+	dead, _ := NewNode(resilientConfig(false), memAttach(f))
+	deadAddr := dead.Addr()
+	dead.Close()
+
+	v, _ := NewNode(resilientConfig(false), memAttach(f))
+	defer v.Close()
+	if err := v.JoinAny([]string{deadAddr, alive.Addr()}); err != nil {
+		t.Fatalf("JoinAny with one dead bootstrap failed: %v", err)
+	}
+	if _, succ := v.Successor(); succ != alive.Addr() {
+		t.Fatalf("joined node's successor = %s, want %s", succ, alive.Addr())
+	}
+}
+
+// TestJoinAllBootstrapsDead: when every bootstrap is unreachable the join
+// fails with an error that names each attempted address.
+func TestJoinAllBootstrapsDead(t *testing.T) {
+	f := transport.NewFabric()
+	d1, _ := NewNode(resilientConfig(false), memAttach(f))
+	d2, _ := NewNode(resilientConfig(false), memAttach(f))
+	a1, a2 := d1.Addr(), d2.Addr()
+	d1.Close()
+	d2.Close()
+
+	v, _ := NewNode(resilientConfig(false), memAttach(f))
+	defer v.Close()
+	err := v.JoinAny([]string{a1, a2})
+	if err == nil {
+		t.Fatal("join via only dead bootstraps succeeded")
+	}
+	for _, addr := range []string{a1, a2} {
+		if !containsStr(err.Error(), addr) {
+			t.Errorf("join error does not mention attempted bootstrap %s: %v", addr, err)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestJoinEmptyBootstrapList: no usable address is an immediate, clear
+// error (not a panic or a silent no-op).
+func TestJoinEmptyBootstrapList(t *testing.T) {
+	f := transport.NewFabric()
+	v, _ := NewNode(resilientConfig(false), memAttach(f))
+	defer v.Close()
+	if err := v.JoinAny([]string{"", v.Addr()}); err == nil {
+		t.Fatal("join with no usable bootstrap succeeded")
+	}
+}
+
+// TestLookupRecoversAfterCoordinatorDeath: a lookup whose coordinator
+// died must recover via re-route/failover once the ring has healed —
+// where the pre-resilience single-shot path returned a hard error.
+func TestLookupRecoversAfterCoordinatorDeath(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := resilientConfig(true)
+	cfg.Channel.Count = 0 // drive by hand, no generator traffic
+
+	src, _ := NewNode(cfg, memAttach(f))
+	var nodes []*Node
+	for i := 0; i < 4; i++ {
+		nd, _ := NewNode(cfg, memAttach(f))
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	all := append([]*Node{src}, nodes...)
+	for _, nd := range all {
+		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+	}
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		return ringSize(src, all) == len(all)
+	})
+
+	// Find the coordinator for seq 7's key — it must not be src, which we
+	// want alive to issue lookups from.
+	const seq = 7
+	key := uint64(cfg.Channel.Ref(seq).ID())
+	owner, _, _, _, err := src.FindOwner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coord *Node
+	for _, nd := range nodes {
+		if nd.Addr() == owner.Addr {
+			coord = nd
+		}
+	}
+	if coord == nil {
+		t.Skipf("key owner is the source itself; cannot kill it for this scenario")
+	}
+
+	// Replicate the index entry at the coordinator and every node (the
+	// role republication plays in production), so whichever node inherits
+	// the key range can answer.
+	provider := wire.Entry{ID: 12345, Addr: src.Addr()}
+	for _, nd := range all {
+		nd.mu.Lock()
+		e := nd.indexEntryLocked(seq)
+		e.providers = append(e.providers, provider)
+		nd.mu.Unlock()
+	}
+
+	// Kill the coordinator abruptly and let the ring heal around it.
+	coord.Close()
+	survivors := make([]*Node, 0, len(all)-1)
+	for _, nd := range all {
+		if nd != coord {
+			survivors = append(survivors, nd)
+		}
+	}
+	waitFor(t, 10*time.Second, "ring to heal around the dead coordinator", func() bool {
+		return ringSize(src, survivors) == len(survivors)
+	})
+
+	// One lookup call must now succeed end-to-end: the resilience layer
+	// re-routes internally instead of surfacing the dead peer.
+	providers, err := src.lookupProviders(key, seq)
+	if err != nil {
+		t.Fatalf("lookup after coordinator death: %v", err)
+	}
+	if len(providers) == 0 || providers[0].Addr != provider.Addr {
+		t.Fatalf("lookup answered %v, want provider %s", providers, provider.Addr)
+	}
+}
+
+// TestFetchBlacklistsFailingProvider: a provider that fails a transfer is
+// not re-asked within its cooldown.
+func TestFetchBlacklistsFailingProvider(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := resilientConfig(false)
+	n, _ := NewNode(cfg, memAttach(f))
+	defer n.Close()
+
+	n.blacklistProvider("mem://gone")
+	if n.providerUsable("mem://gone") {
+		t.Fatal("blacklisted provider still usable")
+	}
+	if !n.providerUsable("mem://fine") {
+		t.Fatal("unrelated provider blacklisted")
+	}
+	if got := n.Stats().ProvidersBlacklisted; got != 1 {
+		t.Fatalf("ProvidersBlacklisted = %d, want 1", got)
+	}
+	// The cooldown expires.
+	waitFor(t, 5*time.Second, "cooldown to expire", func() bool {
+		return n.providerUsable("mem://gone")
+	})
+}
+
+// TestBreakerFailsFastOnDeadPeer: repeated calls to a dead address open
+// its circuit; once open, calls stop hitting the transport.
+func TestBreakerFailsFastOnDeadPeer(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := resilientConfig(false)
+	cfg.Breaker = retry.BreakerConfig{Threshold: 3, Cooldown: time.Hour}
+	n, _ := NewNode(cfg, memAttach(f))
+	defer n.Close()
+	dead, _ := NewNode(resilientConfig(false), memAttach(f))
+	deadAddr := dead.Addr()
+	dead.Close()
+
+	for i := 0; i < 3; i++ {
+		_, _ = n.callIdem(deadAddr, &wire.Ping{})
+	}
+	if got := n.Stats().BreakerOpens; got == 0 {
+		t.Fatal("circuit never opened against a dead peer")
+	}
+	if !n.retrier.Breaker().Open(deadAddr) {
+		t.Fatal("breaker reports closed for the dead address")
+	}
+	start := time.Now()
+	_, err := n.callIdem(deadAddr, &wire.Ping{})
+	if err == nil {
+		t.Fatal("call to dead peer with open circuit succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("open circuit did not fail fast: %v", elapsed)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dco/internal/chord"
+	"dco/internal/retry"
 	"dco/internal/stream"
 	"dco/internal/transport"
 	"dco/internal/wire"
@@ -63,6 +64,28 @@ type Config struct {
 	// OnChunk, if set, is invoked for every chunk received or generated
 	// (after it is buffered), in seq order per worker but not globally.
 	OnChunk func(seq int64, data []byte)
+
+	// Retry shapes the backoff loop idempotent RPCs run under (routing
+	// steps, lookups, inserts, stabilization reads).
+	Retry retry.Policy
+
+	// Breaker opens a per-address circuit after consecutive transport
+	// failures, so calls to a dead peer fail fast and the caller fails
+	// over instead of waiting out timeouts.
+	Breaker retry.BreakerConfig
+
+	// ProviderCooldown is how long a provider that failed a chunk fetch
+	// is blacklisted before this node asks it again. Zero disables the
+	// blacklist.
+	ProviderCooldown time.Duration
+
+	// JoinAttempts is how many rounds JoinAny makes over the bootstrap
+	// list before giving up.
+	JoinAttempts int
+
+	// RetrySeed fixes the backoff-jitter schedule (reproducibility).
+	// Zero derives a stable seed from the node's address.
+	RetrySeed int64
 }
 
 // DefaultNodeConfig returns sane settings for LAN/localhost deployments.
@@ -79,6 +102,10 @@ func DefaultNodeConfig() Config {
 		UpBps:              10_000_000,
 		RepublishEvery:     time.Second,
 		RepublishBatch:     4,
+		Retry:              retry.DefaultPolicy(),
+		Breaker:            retry.DefaultBreakerConfig(),
+		ProviderCooldown:   2 * time.Second,
+		JoinAttempts:       3,
 	}
 }
 
@@ -98,6 +125,8 @@ type Node struct {
 
 	serveSem        chan struct{}
 	republishCursor uint64
+	retrier         *retry.Retrier
+	blacklist       map[string]time.Time // failing providers, cooling down
 
 	closed  chan struct{}
 	closeMu sync.Once
@@ -115,6 +144,11 @@ type Stats struct {
 	ChunksFetched  uint64
 	FetchRetries   uint64
 	BusyRejections uint64
+	// Resilience-layer counters.
+	CallRetries          uint64 // RPC attempts beyond each op's first try
+	BreakerOpens         uint64 // circuit transitions to open
+	LookupFailovers      uint64 // lookups answered past a dead coordinator
+	ProvidersBlacklisted uint64 // providers put on fetch cooldown
 }
 
 type indexEntry struct {
@@ -146,6 +180,7 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		registered: make(map[int64]bool),
 		index:      make(map[int64]*indexEntry),
 		serveSem:   make(chan struct{}, cfg.MaxServeConcurrent),
+		blacklist:  make(map[string]time.Time),
 		closed:     make(chan struct{}),
 		latestGen:  -1,
 	}
@@ -156,6 +191,12 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	n.tr = tr
 	self := entryT{ID: chord.HashString("live-node-" + tr.Addr()), Addr: tr.Addr(), OK: true}
 	n.cs = chord.NewState(self, cfg.SuccListSize)
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		// Stable per-address seed: same deployment, same jitter schedule.
+		seed = int64(uint64(self.ID))
+	}
+	n.retrier = retry.New(cfg.Retry, retry.NewBreaker(cfg.Breaker), seed)
 	return n, nil
 }
 
@@ -172,8 +213,11 @@ func (n *Node) ID() chord.ID {
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	st := n.stats
+	n.mu.Unlock()
+	st.CallRetries = n.retrier.Retries()
+	st.BreakerOpens = n.retrier.Breaker().Opens()
+	return st
 }
 
 // HasChunk reports whether the node buffered seq.
@@ -243,14 +287,53 @@ func (n *Node) Close() error {
 	return err
 }
 
-// Join attaches the node to the ring through any existing member.
-func (n *Node) Join(bootstrap string) error {
+// Join attaches the node to the ring through one existing member. For
+// failover across several candidate members, use JoinAny.
+func (n *Node) Join(bootstrap string) error { return n.JoinAny([]string{bootstrap}) }
+
+// JoinAny attaches the node to the ring via the first reachable address
+// in bootstraps, making Config.JoinAttempts rounds over the whole list
+// (with backoff between rounds) before giving up. A single dead or
+// partitioned bootstrap no longer kills the join.
+func (n *Node) JoinAny(bootstraps []string) error {
+	rounds := n.cfg.JoinAttempts
+	if rounds < 1 {
+		rounds = 1
+	}
+	var errs []error
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			select {
+			case <-n.closed:
+				return errors.Join(errs...)
+			case <-time.After(n.cfg.Retry.Pause(round)):
+			}
+		}
+		for _, b := range bootstraps {
+			if b == "" || b == n.Addr() {
+				continue
+			}
+			if err := n.joinVia(b); err != nil {
+				errs = append(errs, fmt.Errorf("live: join via %s: %w", b, err))
+				continue
+			}
+			return nil
+		}
+	}
+	if len(errs) == 0 {
+		return errors.New("live: no usable bootstrap address")
+	}
+	return errors.Join(errs...)
+}
+
+// joinVia performs one join attempt through bootstrap.
+func (n *Node) joinVia(bootstrap string) error {
 	n.mu.Lock()
 	selfID := n.cs.Self.ID
 	n.mu.Unlock()
 	owner, succs, pred, predOK, err := n.findOwnerFrom(bootstrap, uint64(selfID))
 	if err != nil {
-		return fmt.Errorf("live: join via %s: %w", bootstrap, err)
+		return err
 	}
 	n.mu.Lock()
 	n.cs.SetSuccessor(entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
@@ -265,8 +348,13 @@ func (n *Node) Join(bootstrap string) error {
 		n.cs.SetPredecessor(entryT{ID: chord.ID(pred.ID), Addr: pred.Addr, OK: true})
 	}
 	n.mu.Unlock()
-	_, err = n.call(owner.Addr, &wire.Notify{From: n.wireSelf()})
-	return err
+	// The first notify is best-effort: stabilization re-notifies every
+	// cycle, so a dropped message here must not fail an otherwise
+	// successful join.
+	if owner.Addr != n.Addr() {
+		_, _ = n.callIdem(owner.Addr, &wire.Notify{From: n.wireSelf()})
+	}
+	return nil
 }
 
 // Leave departs gracefully: index handoff to the successor, ring unlink,
@@ -293,7 +381,7 @@ func (n *Node) Leave() error {
 
 	if succ.OK && succ.Addr != n.Addr() {
 		if len(entries) > 0 {
-			_, _ = n.call(succ.Addr, &wire.Handoff{Entries: entries})
+			_, _ = n.callIdem(succ.Addr, &wire.Handoff{Entries: entries})
 		}
 		leave := &wire.Leave{From: self}
 		if pred.OK {
@@ -318,19 +406,85 @@ func (n *Node) wireSelfLocked() wire.Entry {
 	return wire.Entry{ID: uint64(n.cs.Self.ID), Addr: n.cs.Self.Addr}
 }
 
+// rpcClassify maps the wire error taxonomy onto the retry layer: remote
+// wire.Errors retry only when their code says so, and never count toward
+// the circuit breaker (the peer answered — it is alive).
+var rpcClassify = retry.Classify{
+	Retryable: wire.Retryable,
+	BreakerFailure: func(err error) bool {
+		var we *wire.Error
+		return !errors.As(err, &we)
+	},
+}
+
+// call performs one single-shot RPC: no retry. This is the right shape
+// for the maintenance loops, where a failure IS the signal (stabilize and
+// check_predecessor exist to detect dead peers, and they run again on the
+// next tick). Each outcome feeds the per-address breaker, so repeated
+// probe failures accumulate into the conclusive evidence that finally
+// purges the peer.
 func (n *Node) call(addr string, req wire.Message) (wire.Message, error) {
 	resp, err := n.tr.Call(addr, req, n.cfg.CallTimeout)
-	if err != nil {
-		if _, isRemote := err.(*wire.Error); !isRemote {
-			// Transport-level failure: treat the peer as dead and purge it
-			// from our tables; stabilization re-adds it if it was only a
-			// hiccup.
-			n.mu.Lock()
-			n.cs.RemoveFailed(addr)
-			n.mu.Unlock()
-		}
+	br := n.retrier.Breaker()
+	if err == nil {
+		br.Success(addr)
+		return resp, nil
 	}
+	if rpcClassify.BreakerFailure(err) {
+		br.Failure(addr)
+	} else {
+		br.Success(addr)
+	}
+	n.noteCallFailure(addr, err)
 	return resp, err
+}
+
+// callIdem performs a retried RPC for idempotent requests (every DCO
+// request except the maintenance probes is idempotent by construction:
+// inserts dedupe by address, lookups and fetches are reads, notify and
+// handoff are merges). Transient failures are absorbed by jittered
+// backoff; a per-address circuit breaker fails fast once the peer looks
+// dead, and only the final failure purges it from the routing tables.
+func (n *Node) callIdem(addr string, req wire.Message) (wire.Message, error) {
+	var resp wire.Message
+	err := n.retrier.Do(n.closed, addr, rpcClassify, func() error {
+		var cerr error
+		resp, cerr = n.tr.Call(addr, req, n.cfg.CallTimeout)
+		return cerr
+	})
+	if err != nil {
+		n.noteCallFailure(addr, err)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// peerCondemned reports whether err against addr is conclusive evidence
+// that the peer is down, as opposed to a transient hiccup. A remote
+// application reply proves the peer alive. With a breaker configured, a
+// lone transport error is presumed transient — only addr's circuit
+// opening (threshold consecutive failures) condemns it; under lossy
+// links this is what keeps live successors from being purged on every
+// dropped probe. Without a breaker, any transport failure condemns.
+func (n *Node) peerCondemned(addr string, err error) bool {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return false
+	}
+	br := n.retrier.Breaker()
+	return !br.Enabled() || br.Open(addr) || errors.Is(err, retry.ErrOpen)
+}
+
+// noteCallFailure purges addr from the routing tables once the failure
+// evidence is conclusive; stabilization re-adds the peer if it was only
+// a hiccup after all.
+func (n *Node) noteCallFailure(addr string, err error) {
+	if !n.peerCondemned(addr, err) {
+		return
+	}
+	n.mu.Lock()
+	n.cs.RemoveFailed(addr)
+	n.mu.Unlock()
 }
 
 // ---------------------------------------------------------------------------

@@ -31,7 +31,7 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 	case *wire.Leave:
 		return n.onLeave(m)
 	default:
-		return &wire.Error{Msg: "unsupported request"}
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request"}
 	}
 }
 
@@ -92,8 +92,9 @@ func (n *Node) onNotify(m *wire.Notify) wire.Message {
 	}
 	n.mu.Unlock()
 	if len(moved) > 0 {
-		// Transfer asynchronously; a lost handoff only delays re-registration.
-		go func() { _, _ = n.call(cand.Addr, &wire.Handoff{Entries: moved}) }()
+		// Transfer asynchronously (retried: handoff merges are idempotent);
+		// a lost handoff only delays re-registration.
+		go func() { _, _ = n.callIdem(cand.Addr, &wire.Handoff{Entries: moved}) }()
 	}
 	return &wire.Ack{}
 }
@@ -106,7 +107,7 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 		n.mu.Lock()
 		if !n.cs.OwnsKey(chord.ID(m.Key)) {
 			n.mu.Unlock()
-			return &wire.Error{Msg: errNotOwner.Error()}
+			return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 		}
 		n.stats.LookupsServed++
 		e := n.indexEntryLocked(m.Seq)
@@ -130,7 +131,7 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 		case <-time.After(remain):
 			return &wire.LookupResp{Seq: m.Seq}
 		case <-n.closed:
-			return &wire.Error{Msg: "shutting down"}
+			return &wire.Error{Code: wire.CodeShutdown, Msg: "shutting down"}
 		}
 	}
 }
@@ -148,7 +149,7 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.cs.OwnsKey(chord.ID(m.Key)) {
-		return &wire.Error{Msg: errNotOwner.Error()}
+		return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 	}
 	n.stats.InsertsServed++
 	e := n.indexEntryLocked(m.Seq)
@@ -263,9 +264,8 @@ func (n *Node) stabilize() {
 	}
 	resp, err := n.call(succ.Addr, &wire.GetState{})
 	if err != nil {
-		n.mu.Lock()
-		n.cs.RemoveFailed(succ.Addr)
-		n.mu.Unlock()
+		// call already fed the breaker and purged the successor if the
+		// evidence was conclusive; a lone drop just waits for next tick.
 		return
 	}
 	st, ok := resp.(*wire.GetStateResp)
@@ -303,7 +303,7 @@ func (n *Node) checkPredecessor() {
 	if !pred.OK || pred.Addr == self {
 		return
 	}
-	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil {
+	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil && n.peerCondemned(pred.Addr, err) {
 		n.mu.Lock()
 		if cur := n.cs.Predecessor(); cur.OK && cur.Addr == pred.Addr {
 			n.cs.ClearPredecessor()
@@ -352,11 +352,13 @@ func (n *Node) FindOwner(key uint64) (owner wire.Entry, succs []wire.Entry, pred
 	return wire.Entry{}, nil, wire.Entry{}, false, err
 }
 
-// findOwnerFrom iterates FindSuccessor starting at a remote node.
+// findOwnerFrom iterates FindSuccessor starting at a remote node. Each
+// hop is retried with backoff (routing reads are idempotent); a hop that
+// stays dead surfaces as an error and FindOwner re-routes around it.
 func (n *Node) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
 	cur := start
 	for hops := 0; hops < 2*chord.M; hops++ {
-		resp, cerr := n.call(cur, &wire.FindSuccessor{Key: key})
+		resp, cerr := n.callIdem(cur, &wire.FindSuccessor{Key: key})
 		if cerr != nil {
 			return wire.Entry{}, nil, wire.Entry{}, false, cerr
 		}

@@ -110,7 +110,7 @@ func (n *Node) insertIndex(seq int64) {
 				n.onInsert(msg)
 				return
 			}
-			if _, err = n.call(owner.Addr, msg); err == nil {
+			if _, err = n.callIdem(owner.Addr, msg); err == nil {
 				return
 			}
 		}
@@ -187,20 +187,32 @@ func (n *Node) FetchChunk(seq int64) error {
 			if pr.Addr == n.Addr() {
 				continue
 			}
+			// Rotate past providers on cooldown instead of re-asking them;
+			// the coordinator's round-robin supplies alternatives.
+			if !n.providerUsable(pr.Addr) {
+				continue
+			}
 			resp, err := n.call(pr.Addr, &wire.GetChunk{Seq: seq})
 			if err != nil {
+				// Single-shot by design: a failing provider is blacklisted
+				// for ProviderCooldown and the fetch moves to the next
+				// provider rather than retrying the same one.
 				lastErr = err
+				n.blacklistProvider(pr.Addr)
 				continue
 			}
 			cr, ok := resp.(*wire.ChunkResp)
 			if !ok || !cr.OK {
 				if ok && cr.Busy {
+					// Busy is an admission nack from a live provider: back
+					// off briefly but do not blacklist it.
 					time.Sleep(50 * time.Millisecond)
 				}
 				continue
 			}
 			if !VerifyChunkPayload(n.cfg.Channel, seq, cr.Data) {
 				lastErr = fmt.Errorf("live: chunk %d failed verification", seq)
+				n.blacklistProvider(pr.Addr)
 				continue
 			}
 			n.storeChunk(seq, cr.Data)
@@ -211,28 +223,99 @@ func (n *Node) FetchChunk(seq int64) error {
 	}
 }
 
-func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
-	owner, _, _, _, err := n.FindOwner(key)
-	if err != nil {
-		return nil, err
+// blacklistProvider puts addr on fetch cooldown after a failed or corrupt
+// chunk transfer.
+func (n *Node) blacklistProvider(addr string) {
+	if n.cfg.ProviderCooldown <= 0 {
+		return
 	}
+	n.mu.Lock()
+	n.blacklist[addr] = time.Now().Add(n.cfg.ProviderCooldown)
+	n.stats.ProvidersBlacklisted++
+	n.mu.Unlock()
+}
+
+// providerUsable reports whether addr may be asked for chunks (expired
+// cooldowns are cleaned up lazily here).
+func (n *Node) providerUsable(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until, ok := n.blacklist[addr]
+	if !ok {
+		return true
+	}
+	if time.Now().After(until) {
+		delete(n.blacklist, addr)
+		return true
+	}
+	return false
+}
+
+// lookupProviders asks the chunk's coordinator for providers. When the
+// coordinator is dead, the lookup fails over along its successor list:
+// the successor inherits the key range once stabilization settles, so
+// asking it is the fastest route to the surviving index. A not-the-owner
+// rejection means ownership is still moving — re-route and try again.
+func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
 	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(n.cfg.LookupWait / time.Millisecond)}
-	if owner.Addr == n.Addr() {
-		resp := n.onLookup(req)
-		if lr, ok := resp.(*wire.LookupResp); ok {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			// Give stabilization a beat to settle ownership before
+			// re-routing.
+			select {
+			case <-n.closed:
+				return nil, lastErr
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		owner, succs, _, _, err := n.FindOwner(key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		candidates := append([]wire.Entry{owner}, succs...)
+		tried := make(map[string]bool, len(candidates))
+		reroute := false
+		for ci := 0; ci < len(candidates) && !reroute; ci++ {
+			c := candidates[ci]
+			if c.Addr == "" || tried[c.Addr] {
+				continue
+			}
+			tried[c.Addr] = true
+			var resp wire.Message
+			if c.Addr == n.Addr() {
+				resp = n.onLookup(req)
+			} else {
+				resp, err = n.callIdem(c.Addr, req)
+				if err != nil {
+					if wire.IsNotOwner(err) {
+						// Ownership moved under us: routing is stale.
+						reroute = true
+					}
+					lastErr = err
+					continue // dead coordinator: fail over to the next successor
+				}
+			}
+			lr, ok := resp.(*wire.LookupResp)
+			if !ok {
+				if e, isErr := resp.(*wire.Error); isErr && e.Code == wire.CodeNotOwner {
+					reroute = true
+					lastErr = e
+					continue
+				}
+				lastErr = errUnexpected(resp)
+				continue
+			}
+			if ci > 0 {
+				n.mu.Lock()
+				n.stats.LookupFailovers++
+				n.mu.Unlock()
+			}
 			return lr.Providers, nil
 		}
-		return nil, fmt.Errorf("live: local lookup failed")
 	}
-	resp, err := n.call(owner.Addr, req)
-	if err != nil {
-		return nil, err
-	}
-	lr, ok := resp.(*wire.LookupResp)
-	if !ok {
-		return nil, errUnexpected(resp)
-	}
-	return lr.Providers, nil
+	return nil, lastErr
 }
 
 func (n *Node) storeChunk(seq int64, data []byte) {
@@ -289,7 +372,7 @@ func (n *Node) unregisterExpired(seqs []int64) {
 			n.onInsert(msg)
 			continue
 		}
-		_, _ = n.call(owner.Addr, msg)
+		_, _ = n.callIdem(owner.Addr, msg)
 	}
 }
 

@@ -1,0 +1,352 @@
+// Package retry gives the live DCO stack its failure discipline: jittered
+// exponential backoff with a per-operation budget, and a per-address
+// circuit breaker that stops hammering peers that keep failing. The
+// simulator models churn recovery structurally (dead-hop re-picks, busy
+// nacks); this package is the equivalent machinery for the real-network
+// path, where failures are timeouts and refused connections rather than
+// scripted events.
+//
+// Reproducibility: the jitter source is seeded, so a node constructed with
+// the same seed produces the same backoff schedule — matching the repo's
+// rule that equal seeds yield equal runs.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy shapes one operation's retry loop.
+type Policy struct {
+	// MaxAttempts caps tries per operation (first call included).
+	// Values below 1 mean a single attempt.
+	MaxAttempts int
+	// InitialBackoff is the pause after the first failure.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the grown pause.
+	MaxBackoff time.Duration
+	// Multiplier grows the pause between attempts (values <= 1 mean 2).
+	Multiplier float64
+	// Jitter is the fraction of each pause that is randomized, in [0, 1].
+	// 0.5 turns a 100ms pause into uniform [50ms, 100ms].
+	Jitter float64
+	// Budget bounds the operation's total wall-clock spend across
+	// attempts and pauses. Zero means attempts alone limit the loop.
+	Budget time.Duration
+}
+
+// DefaultPolicy suits LAN control-plane RPCs: fast first retry, bounded
+// total spend well under a chunk period at streaming timescales.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:    3,
+		InitialBackoff: 30 * time.Millisecond,
+		MaxBackoff:     500 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.5,
+		Budget:         3 * time.Second,
+	}
+}
+
+// Pause returns the unjittered pause before retry number n (n = 1 is the
+// pause after the first failure) — for callers pacing their own loops.
+func (p Policy) Pause(n int) time.Duration { return p.backoff(n, nil) }
+
+// backoff returns the pause before retry number n (n = 1 is the pause
+// after the first failure). rng may be nil for no jitter.
+func (p Policy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.InitialBackoff
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	for i := 1; i < n; i++ {
+		d = time.Duration(float64(d) * mult)
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if rng != nil && p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d*(1-j), d].
+		d = d - time.Duration(rng.Float64()*j*float64(d))
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+// BreakerConfig parameterizes the per-address circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the circuit.
+	// Values below 1 disable the breaker (always closed).
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before allowing
+	// a half-open probe.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerConfig trips after a burst of failures and probes again
+// two seconds later — long enough for stabilization to have purged a dead
+// peer, short enough that a rebooted peer rejoins service quickly.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{Threshold: 5, Cooldown: 2 * time.Second}
+}
+
+// ErrOpen is returned when the breaker rejects a call without trying the
+// network. Callers should treat it like a fast connection failure and
+// fail over to another address.
+var ErrOpen = errors.New("retry: circuit open")
+
+type breakerPhase uint8
+
+const (
+	phaseClosed breakerPhase = iota
+	phaseOpen
+	phaseHalfOpen
+)
+
+type breakerState struct {
+	phase    breakerPhase
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// Breaker tracks consecutive failures per address and short-circuits
+// calls to addresses that keep failing. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+	opens  uint64
+}
+
+// NewBreaker returns a breaker with cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg, now: time.Now, states: make(map[string]*breakerState)}
+}
+
+// Allow reports whether a call to addr may proceed. In the open phase it
+// returns false until Cooldown has elapsed, then admits exactly one
+// half-open probe; the probe's Success or Failure decides whether the
+// circuit closes again or re-opens.
+func (b *Breaker) Allow(addr string) bool {
+	if b == nil || b.cfg.Threshold < 1 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[addr]
+	if s == nil {
+		return true
+	}
+	switch s.phase {
+	case phaseClosed:
+		return true
+	case phaseOpen:
+		if b.now().Sub(s.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		s.phase = phaseHalfOpen
+		s.probing = true
+		return true
+	default: // half-open
+		if s.probing {
+			return false // one probe at a time
+		}
+		s.probing = true
+		return true
+	}
+}
+
+// Success records a successful call to addr and closes its circuit.
+func (b *Breaker) Success(addr string) {
+	if b == nil || b.cfg.Threshold < 1 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, addr)
+}
+
+// Failure records a failed call to addr; enough consecutive failures open
+// the circuit, and a failed half-open probe re-opens it.
+func (b *Breaker) Failure(addr string) {
+	if b == nil || b.cfg.Threshold < 1 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[addr]
+	if s == nil {
+		s = &breakerState{}
+		b.states[addr] = s
+	}
+	s.failures++
+	s.probing = false
+	if s.phase == phaseHalfOpen || s.failures >= b.cfg.Threshold {
+		if s.phase != phaseOpen {
+			b.opens++
+		}
+		s.phase = phaseOpen
+		s.openedAt = b.now()
+		s.failures = 0
+	}
+}
+
+// Enabled reports whether the breaker can ever trip (a nil breaker or a
+// zero threshold means failures are never accumulated).
+func (b *Breaker) Enabled() bool { return b != nil && b.cfg.Threshold >= 1 }
+
+// Open reports whether addr's circuit is currently open (rejecting).
+func (b *Breaker) Open(addr string) bool {
+	if b == nil || b.cfg.Threshold < 1 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.states[addr]
+	return s != nil && s.phase == phaseOpen && b.now().Sub(s.openedAt) < b.cfg.Cooldown
+}
+
+// Opens returns how many times any circuit transitioned to open.
+func (b *Breaker) Opens() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Forget drops all state for addr (e.g. the peer left the ring).
+func (b *Breaker) Forget(addr string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, addr)
+}
+
+// ---------------------------------------------------------------------------
+// Retrier: policy + breaker + seeded jitter.
+
+// Retrier executes operations under a Policy with an optional Breaker.
+type Retrier struct {
+	policy  Policy
+	breaker *Breaker
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	attempts uint64 // total retry attempts beyond the first try
+}
+
+// New builds a Retrier. breaker may be nil. seed fixes the jitter
+// sequence; equal seeds give equal backoff schedules.
+func New(policy Policy, breaker *Breaker, seed int64) *Retrier {
+	return &Retrier{policy: policy, breaker: breaker, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Breaker exposes the retrier's breaker (may be nil).
+func (r *Retrier) Breaker() *Breaker { return r.breaker }
+
+// Retries returns the total number of retry attempts performed (attempts
+// beyond each operation's first try).
+func (r *Retrier) Retries() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts
+}
+
+func (r *Retrier) pause(n int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attempts++
+	return r.policy.backoff(n, r.rng)
+}
+
+// Classify tells Do how to treat op errors.
+type Classify struct {
+	// Retryable reports whether the error is worth retrying at the same
+	// address. nil means every error retries.
+	Retryable func(error) bool
+	// BreakerFailure reports whether the error indicates the peer is
+	// unreachable (counts toward opening its circuit). nil means every
+	// error counts. Remote application-level errors should return false:
+	// a peer that answered — even with a rejection — is alive.
+	BreakerFailure func(error) bool
+}
+
+// Do runs op against addr until it succeeds, exhausts the policy, hits a
+// non-retryable error, or done closes. The breaker is consulted before
+// each attempt and updated after it: when the circuit for addr is open,
+// Do fails fast with ErrOpen so the caller can fail over.
+func (r *Retrier) Do(done <-chan struct{}, addr string, c Classify, op func() error) error {
+	attempts := r.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var deadline time.Time
+	if r.policy.Budget > 0 {
+		deadline = time.Now().Add(r.policy.Budget)
+	}
+	var err error
+	for n := 1; ; n++ {
+		if r.breaker != nil && !r.breaker.Allow(addr) {
+			if err != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrOpen, err)
+			}
+			return ErrOpen
+		}
+		err = op()
+		if err == nil {
+			if r.breaker != nil {
+				r.breaker.Success(addr)
+			}
+			return nil
+		}
+		if r.breaker != nil {
+			if c.BreakerFailure == nil || c.BreakerFailure(err) {
+				r.breaker.Failure(addr)
+			} else {
+				// The peer responded (application-level error): it is
+				// reachable, so reset its consecutive-failure count.
+				r.breaker.Success(addr)
+			}
+		}
+		if c.Retryable != nil && !c.Retryable(err) {
+			return err
+		}
+		if n >= attempts {
+			return err
+		}
+		pause := r.pause(n)
+		if !deadline.IsZero() && time.Now().Add(pause).After(deadline) {
+			return err
+		}
+		select {
+		case <-done:
+			return err
+		case <-time.After(pause):
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := p.backoff(i+1, nil); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterSeeded(t *testing.T) {
+	p := Policy{InitialBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Multiplier: 2, Jitter: 0.5}
+	a := New(p, nil, 42)
+	b := New(p, nil, 42)
+	c := New(p, nil, 43)
+	var sa, sb, sc []time.Duration
+	for i := 1; i <= 8; i++ {
+		sa = append(sa, a.pause(i))
+		sb = append(sb, b.pause(i))
+		sc = append(sc, c.pause(i))
+	}
+	same, diff := true, false
+	for i := range sa {
+		if sa[i] != sb[i] {
+			same = false
+		}
+		if sa[i] != sc[i] {
+			diff = true
+		}
+		lo := time.Duration(float64(p.backoff(i+1, nil)) * 0.5)
+		if sa[i] < lo-time.Millisecond || sa[i] > p.backoff(i+1, nil) {
+			t.Fatalf("jittered pause %v outside [%v, %v]", sa[i], lo, p.backoff(i+1, nil))
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different backoff schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical backoff schedules")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	r := New(Policy{MaxAttempts: 5, InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}, nil, 1)
+	calls := 0
+	err := r.Do(nil, "a", Classify{}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnTerminalError(t *testing.T) {
+	terminal := errors.New("terminal")
+	r := New(Policy{MaxAttempts: 5, InitialBackoff: time.Millisecond}, nil, 1)
+	calls := 0
+	err := r.Do(nil, "a", Classify{Retryable: func(err error) bool { return !errors.Is(err, terminal) }}, func() error {
+		calls++
+		return terminal
+	})
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want terminal after 1 call", err, calls)
+	}
+}
+
+func TestDoRespectsAttemptCap(t *testing.T) {
+	r := New(Policy{MaxAttempts: 3, InitialBackoff: time.Millisecond}, nil, 1)
+	calls := 0
+	fail := errors.New("nope")
+	if err := r.Do(nil, "a", Classify{}, func() error { calls++; return fail }); !errors.Is(err, fail) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+}
+
+func TestDoRespectsBudget(t *testing.T) {
+	r := New(Policy{MaxAttempts: 100, InitialBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Budget: 60 * time.Millisecond}, nil, 1)
+	calls := 0
+	start := time.Now()
+	_ = r.Do(nil, "a", Classify{}, func() error { calls++; return errors.New("x") })
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("budget ignored: ran %v", elapsed)
+	}
+	if calls > 3 {
+		t.Fatalf("calls=%d, budget should have stopped the loop early", calls)
+	}
+}
+
+func TestDoAbortsWhenDoneCloses(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	r := New(Policy{MaxAttempts: 100, InitialBackoff: time.Hour}, nil, 1)
+	calls := 0
+	start := time.Now()
+	_ = r.Do(done, "a", Classify{}, func() error { calls++; return errors.New("x") })
+	if calls != 1 || time.Since(start) > time.Second {
+		t.Fatalf("calls=%d elapsed=%v; done should abort before the pause", calls, time.Since(start))
+	}
+}
+
+func TestBreakerOpensAndProbes(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Hour})
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		b.Failure("x")
+		if !b.Allow("x") {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure("x")
+	if b.Allow("x") {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if !b.Open("x") {
+		t.Fatal("Open() disagrees with Allow()")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens=%d", b.Opens())
+	}
+
+	// After cooldown: exactly one half-open probe.
+	now = now.Add(2 * time.Hour)
+	if !b.Allow("x") {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	if b.Allow("x") {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Failed probe re-opens immediately.
+	b.Failure("x")
+	if b.Allow("x") {
+		t.Fatal("breaker closed after failed probe")
+	}
+	// Next probe succeeds → closed again.
+	now = now.Add(2 * time.Hour)
+	if !b.Allow("x") {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success("x")
+	if !b.Allow("x") || !b.Allow("x") {
+		t.Fatal("breaker not closed after successful probe")
+	}
+}
+
+func TestBreakerIsPerAddress(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	b.Failure("dead")
+	if b.Allow("dead") {
+		t.Fatal("dead address allowed")
+	}
+	if !b.Allow("alive") {
+		t.Fatal("unrelated address rejected")
+	}
+}
+
+func TestDoBreakerIgnoresApplicationErrors(t *testing.T) {
+	// An error classified as non-breaker (the peer answered, it just said
+	// no) must never open the circuit, however often it repeats.
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
+	r := New(Policy{MaxAttempts: 1}, b, 1)
+	appErr := errors.New("rejected")
+	c := Classify{BreakerFailure: func(err error) bool { return !errors.Is(err, appErr) }}
+	for i := 0; i < 10; i++ {
+		_ = r.Do(nil, "x", c, func() error { return appErr })
+	}
+	if !b.Allow("x") {
+		t.Fatal("application-level rejections opened the circuit")
+	}
+	// And an application answer resets prior transport failures.
+	b.Failure("x")
+	_ = r.Do(nil, "x", c, func() error { return appErr })
+	b.Failure("x")
+	if !b.Allow("x") {
+		t.Fatal("consecutive-failure count not reset by an application answer")
+	}
+}
+
+func TestDoFailsFastWhenOpen(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	r := New(Policy{MaxAttempts: 3, InitialBackoff: time.Millisecond}, b, 1)
+	calls := 0
+	_ = r.Do(nil, "x", Classify{}, func() error { calls++; return errors.New("down") })
+	if calls != 1 {
+		t.Fatalf("calls=%d; breaker (threshold 1) should stop retries", calls)
+	}
+	err := r.Do(nil, "x", Classify{}, func() error { calls++; return nil })
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err=%v, want ErrOpen", err)
+	}
+	if calls != 1 {
+		t.Fatal("open circuit still let the op run")
+	}
+}

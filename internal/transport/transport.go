@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dco/internal/wire"
@@ -48,6 +49,11 @@ type TCP struct {
 	ln      net.Listener
 	handler Handler
 
+	// maxFrame bounds the length prefix accepted from peers (and in
+	// replies), so one malformed or hostile frame header cannot force a
+	// giant allocation. Defaults to wire.MaxFrame.
+	maxFrame atomic.Uint32
+
 	mu     sync.Mutex
 	pools  map[string][]net.Conn
 	active map[net.Conn]bool
@@ -65,6 +71,7 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 		return nil, err
 	}
 	t := &TCP{ln: ln, handler: h, pools: make(map[string][]net.Conn), active: make(map[net.Conn]bool)}
+	t.maxFrame.Store(wire.MaxFrame)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -72,6 +79,16 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 
 // Addr returns the bound address.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetMaxFrameSize lowers the largest frame (type byte + payload) this
+// transport accepts on reads. Values of 0 or above wire.MaxFrame clamp
+// to wire.MaxFrame. Safe to call concurrently with traffic.
+func (t *TCP) SetMaxFrameSize(n uint32) {
+	if n == 0 || n > wire.MaxFrame {
+		n = wire.MaxFrame
+	}
+	t.maxFrame.Store(n)
+}
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -106,7 +123,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		// A generous per-exchange deadline keeps dead peers from pinning
 		// goroutines forever.
 		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
-		req, err := wire.ReadMessage(conn)
+		req, err := wire.ReadMessageLimit(conn, t.maxFrame.Load())
 		if err != nil {
 			return
 		}
@@ -133,15 +150,18 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 	if err != nil {
 		return nil, err
 	}
-	resp, err := exchange(conn, req, deadline)
+	resp, err := t.exchange(conn, req, deadline)
 	if err != nil && pooled {
-		// The pooled connection may have gone stale; retry once fresh.
+		// The pooled connection went stale (its peer restarted or closed
+		// it); discard it and retry once on a fresh dial. Assign — do not
+		// shadow — conn, so the fresh connection is the one pooled below.
 		conn.Close()
-		conn, _, err2 := t.dial(addr, time.Until(deadline))
+		fresh, _, err2 := t.dial(addr, time.Until(deadline))
 		if err2 != nil {
 			return nil, err2
 		}
-		resp, err = exchange(conn, req, deadline)
+		conn = fresh
+		resp, err = t.exchange(conn, req, deadline)
 	}
 	if err != nil {
 		conn.Close()
@@ -154,12 +174,12 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 	return resp, nil
 }
 
-func exchange(conn net.Conn, req wire.Message, deadline time.Time) (wire.Message, error) {
+func (t *TCP) exchange(conn net.Conn, req wire.Message, deadline time.Time) (wire.Message, error) {
 	_ = conn.SetDeadline(deadline)
 	if err := wire.WriteMessage(conn, req); err != nil {
 		return nil, err
 	}
-	return wire.ReadMessage(conn)
+	return wire.ReadMessageLimit(conn, t.maxFrame.Load())
 }
 
 func (t *TCP) getConn(addr string, timeout time.Duration) (net.Conn, bool, error) {

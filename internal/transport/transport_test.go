@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -154,6 +155,95 @@ func TestTCPStaleConnRetry(t *testing.T) {
 	srv.Close()
 	if _, err := cli.Call(addr, &wire.Ping{}, 300*time.Millisecond); err == nil {
 		t.Fatal("call to closed server succeeded")
+	}
+}
+
+// TestTCPStaleConnRecoversAfterPeerRestart is the regression test for the
+// stale-pool bug: a pooled connection whose peer restarted must be
+// discarded and the call retried on a fresh dial — and the *fresh*
+// connection (not the dead one) must be what lands back in the pool.
+func TestTCPStaleConnRecoversAfterPeerRestart(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	addr := srv.Addr()
+	if _, err := cli.Call(addr, &wire.Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the peer on the same address: the client's pooled conn is
+	// now stale, but the address is live again.
+	srv.Close()
+	srv2, err := ListenTCP(addr, HandlerFunc(echoHandler))
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	if _, err := cli.Call(addr, &wire.Ping{}, 2*time.Second); err != nil {
+		t.Fatalf("call after peer restart: %v", err)
+	}
+
+	// The connection pooled by the recovered call must be the fresh one:
+	// a direct exchange on it has to work. (The old bug pooled the closed
+	// stale conn and leaked the fresh one.)
+	cli.mu.Lock()
+	pool := cli.pools[addr]
+	cli.mu.Unlock()
+	if len(pool) != 1 {
+		t.Fatalf("pooled %d conns after recovery, want 1", len(pool))
+	}
+	if _, err := cli.exchange(pool[0], &wire.Ping{}, time.Now().Add(time.Second)); err != nil {
+		t.Fatalf("pooled conn is dead (stale conn re-pooled): %v", err)
+	}
+}
+
+// TestTCPOversizedFramePrefixRejected: a hostile length prefix must drop
+// the connection without ballooning memory or killing the server.
+func TestTCPOversizedFramePrefixRejected(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 4 GiB - 1 declared length; far beyond wire.MaxFrame.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadMessage(conn); err == nil {
+		t.Fatal("server answered an oversized frame instead of dropping it")
+	}
+
+	// The server survives and keeps serving well-formed peers.
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	if _, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatalf("server dead after oversized frame: %v", err)
+	}
+}
+
+// TestTCPConfigurableMaxFrameSize: a lowered bound rejects frames that
+// the protocol default would allow.
+func TestTCPConfigurableMaxFrameSize(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+	srv.SetMaxFrameSize(1024)
+
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+	small := &wire.GetChunk{Seq: 1}
+	if _, err := cli.Call(srv.Addr(), small, time.Second); err != nil {
+		t.Fatalf("small frame rejected under 1KiB bound: %v", err)
+	}
+	big := &wire.ChunkResp{Seq: 1, OK: true, Data: make([]byte, 64*1024)}
+	if _, err := cli.Call(srv.Addr(), big, time.Second); err == nil {
+		t.Fatal("64KiB frame crossed a 1KiB server bound")
 	}
 }
 

@@ -64,8 +64,55 @@ type Entry struct {
 // ---------------------------------------------------------------------------
 // Concrete messages.
 
-// Error carries a failure back to the caller.
-type Error struct{ Msg string }
+// Code classifies an Error so callers can tell retryable conditions from
+// terminal ones without parsing message strings (the live stack's retry
+// and failover layers key off it).
+type Code uint8
+
+// Error codes.
+const (
+	// CodeGeneric is an unclassified failure: not retried.
+	CodeGeneric Code = iota
+	// CodeNotOwner means the receiver does not own the key. Terminal at
+	// this address, but the caller should re-route: ownership moved.
+	CodeNotOwner
+	// CodeBusy means the receiver turned the request away under load.
+	// Retryable after a pause (or at another provider).
+	CodeBusy
+	// CodeShutdown means the receiver is closing. Terminal there.
+	CodeShutdown
+	// CodeBadRequest means the request was malformed. Terminal.
+	CodeBadRequest
+)
+
+// Error carries a failure back to the caller, classified by Code.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Retryable reports whether the remote condition is worth retrying at
+// the same address.
+func (m *Error) Retryable() bool { return m.Code == CodeBusy }
+
+// Retryable classifies err for retry loops: remote wire.Errors retry only
+// when their code says so; anything else (dial failures, timeouts, reset
+// connections — the transport-level failures) is presumed transient and
+// retryable.
+func Retryable(err error) bool {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Retryable()
+	}
+	return err != nil
+}
+
+// IsNotOwner reports whether err is a remote not-the-owner rejection,
+// which calls for re-routing rather than retrying.
+func IsNotOwner(err error) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Code == CodeNotOwner
+}
 
 // Ping checks liveness; Pong answers.
 type Ping struct{}
@@ -178,8 +225,19 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message, bounded by MaxFrame.
 func ReadMessage(r io.Reader) (Message, error) {
+	return ReadMessageLimit(r, MaxFrame)
+}
+
+// ReadMessageLimit reads one framed message, rejecting frames whose
+// declared length exceeds limit — before allocating anything — so a
+// hostile or corrupt length prefix cannot balloon memory. limit values
+// of 0 or above MaxFrame clamp to MaxFrame.
+func ReadMessageLimit(r io.Reader, limit uint32) (Message, error) {
+	if limit == 0 || limit > MaxFrame {
+		limit = MaxFrame
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -188,7 +246,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if n == 0 {
 		return nil, ErrTruncated
 	}
-	if n > MaxFrame {
+	if n > limit {
 		return nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
@@ -313,6 +371,16 @@ func (r *reader) u32() uint32 {
 	return v
 }
 
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
 func (r *reader) boolean() bool {
 	if r.err != nil || len(r.b) < 1 {
 		r.fail()
@@ -368,9 +436,16 @@ func (r *reader) fail() {
 // ---------------------------------------------------------------------------
 // Per-message codecs.
 
-func (m *Error) Kind() Kind             { return KindError }
-func (m *Error) encode(b []byte) []byte { return putString(b, m.Msg) }
-func (m *Error) decode(r *reader) error { m.Msg = r.str(); return r.err }
+func (m *Error) Kind() Kind { return KindError }
+func (m *Error) encode(b []byte) []byte {
+	b = append(b, byte(m.Code))
+	return putString(b, m.Msg)
+}
+func (m *Error) decode(r *reader) error {
+	m.Code = Code(r.u8())
+	m.Msg = r.str()
+	return r.err
+}
 
 // Error implements the error interface so transports can surface it.
 func (m *Error) Error() string { return "remote: " + m.Msg }

@@ -26,6 +26,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 	e2 := Entry{ID: 42, Addr: "peer.example:9"}
 	msgs := []Message{
 		&Error{Msg: "boom"},
+		&Error{Code: CodeBusy, Msg: "overloaded"},
+		&Error{Code: CodeNotOwner, Msg: "moved"},
 		&Ping{},
 		&Pong{},
 		&FindSuccessor{Key: 0xFFFFFFFFFFFFFFFF},
@@ -156,6 +158,50 @@ func TestErrorImplementsError(t *testing.T) {
 	var err error = &Error{Msg: "x"}
 	if err.Error() != "remote: x" {
 		t.Fatalf("error text %q", err.Error())
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		err       error
+		retryable bool
+		notOwner  bool
+	}{
+		{&Error{Code: CodeBusy, Msg: "b"}, true, false},
+		{&Error{Code: CodeNotOwner, Msg: "n"}, false, true},
+		{&Error{Code: CodeGeneric, Msg: "g"}, false, false},
+		{&Error{Code: CodeShutdown, Msg: "s"}, false, false},
+		{&Error{Code: CodeBadRequest, Msg: "q"}, false, false},
+		{io.ErrClosedPipe, true, false}, // transport-level: presumed transient
+		{nil, false, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.retryable {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.retryable)
+		}
+		if got := IsNotOwner(c.err); got != c.notOwner {
+			t.Errorf("IsNotOwner(%v) = %v, want %v", c.err, got, c.notOwner)
+		}
+	}
+}
+
+func TestReadMessageLimit(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, &ChunkResp{Seq: 1, OK: true, Data: make([]byte, 1024)})
+	frame := buf.Bytes()
+	if _, err := ReadMessageLimit(bytes.NewReader(frame), 128); err != ErrFrameTooLarge {
+		t.Fatalf("limit 128 accepted a ~1KiB frame: %v", err)
+	}
+	if _, err := ReadMessageLimit(bytes.NewReader(frame), 4096); err != nil {
+		t.Fatalf("limit 4096 rejected a ~1KiB frame: %v", err)
+	}
+	// 0 and oversized limits clamp to MaxFrame.
+	if _, err := ReadMessageLimit(bytes.NewReader(frame), 0); err != nil {
+		t.Fatalf("limit 0 (= MaxFrame) rejected: %v", err)
+	}
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadMessageLimit(bytes.NewReader(hdr), 1 << 30); err != ErrFrameTooLarge {
+		t.Fatalf("forged huge prefix accepted: %v", err)
 	}
 }
 
