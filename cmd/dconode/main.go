@@ -27,6 +27,7 @@ import (
 	"dco/internal/faulty"
 	"dco/internal/live"
 	"dco/internal/stream"
+	"dco/internal/telemetry"
 	"dco/internal/transport"
 )
 
@@ -42,6 +43,10 @@ func main() {
 		startSeq  = flag.Int64("start", 0, "first chunk to fetch (viewers)")
 		verbosity = flag.Int("v", 1, "0 = quiet, 1 = progress, 2 = per chunk")
 		out       = flag.String("out", "", "write received chunks, in order, to this file ('-' = stdout)")
+
+		// Observability (see DESIGN.md, "Observability").
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars.json, /debug/trace and /debug/pprof/ on this address (empty disables)")
+		traceCap    = flag.Int("trace-cap", 4096, "protocol-event trace ring capacity")
 
 		// Resilience knobs (see DESIGN.md, "Failure model of the live stack").
 		retryAttempts   = flag.Int("retry-attempts", 3, "attempts per idempotent RPC (1 disables retries)")
@@ -81,6 +86,22 @@ func main() {
 	cfg.Breaker.Cooldown = *breakerCooldown
 	cfg.ProviderCooldown = *providerCool
 	cfg.JoinAttempts = *joinAttempts
+
+	// One registry + trace per process: the node, the transport and the
+	// exposition server all share it.
+	var (
+		reg  *telemetry.Registry
+		tr   *telemetry.Trace
+		tm   *transport.Metrics
+		tsrv *telemetry.Server
+	)
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		tr = telemetry.NewTrace(*traceCap)
+		tm = transport.NewMetrics(reg)
+		cfg.Telemetry = reg
+		cfg.Trace = tr
+	}
 
 	var inj *faulty.Injector
 	if *faultDrop > 0 || *faultRefuse > 0 || *faultDup > 0 || *faultDelay > 0 {
@@ -125,6 +146,9 @@ func main() {
 		if *maxFrameKB > 0 {
 			tcp.SetMaxFrameSize(uint32(*maxFrameKB) * 1024)
 		}
+		if tm != nil {
+			tcp.SetMetrics(tm)
+		}
 		if inj == nil {
 			return tcp, nil
 		}
@@ -139,6 +163,15 @@ func main() {
 		role = "source"
 	}
 	fmt.Printf("dconode %s listening on %s (ring id %s)\n", role, node.Addr(), node.ID())
+	if *metricsAddr != "" {
+		tsrv, err = telemetry.Serve(*metricsAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dconode: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Printf("metrics on http://%s/metrics (trace: /debug/trace, pprof: /debug/pprof/)\n", tsrv.Addr())
+	}
 
 	if *join != "" {
 		bootstraps := strings.Split(*join, ",")

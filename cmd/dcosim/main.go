@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		coords    = flag.Int("coordinators", 8, "DCO hierarchy: initial coordinators")
 		fingers   = flag.Bool("fingers", false, "DCO only: Chord finger routing")
 		showTrace = flag.Bool("trace", false, "DCO only: print a protocol-event summary")
+		jsonOut   = flag.String("json", "", "also write machine-readable results to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -122,4 +124,68 @@ func main() {
 	fmt.Printf("extra overhead:          %d messages\n", net.Overhead())
 	fmt.Printf("chunk traffic:           %d transfers, %.1f Mbit\n", dataMsgs, float64(dataBits)/1e6)
 	fmt.Printf("%% received (at horizon): %.2f%%\n", log.ReceivedPercent(*horizon))
+
+	if *jsonOut != "" {
+		res := simResult{
+			Method:          *method,
+			N:               *n,
+			Neighbors:       *neighbors,
+			Chunks:          *chunks,
+			Seed:            *seed,
+			Churn:           *doChurn,
+			EndSeconds:      end.Seconds(),
+			Deliveries:      received,
+			MeshDelaySec:    mean.Seconds(),
+			CompleteChunks:  complete,
+			TotalChunks:     total,
+			FillRatio2s:     log.MeanFillRatioAfter(2 * time.Second),
+			FillRatio10s:    log.MeanFillRatioAfter(10 * time.Second),
+			OverheadMsgs:    net.Overhead(),
+			DataTransfers:   dataMsgs,
+			DataMbit:        float64(dataBits) / 1e6,
+			ReceivedPercent: log.ReceivedPercent(*horizon),
+		}
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// simResult is the -json output schema: the paper's four metrics plus the
+// run parameters that produced them. Field names are stable — external
+// tooling (BENCH_PR2.json, CI trend checks) parses them.
+type simResult struct {
+	Method          string  `json:"method"`
+	N               int     `json:"n"`
+	Neighbors       int     `json:"neighbors"`
+	Chunks          int64   `json:"chunks"`
+	Seed            int64   `json:"seed"`
+	Churn           bool    `json:"churn"`
+	EndSeconds      float64 `json:"end_seconds"`
+	Deliveries      int64   `json:"deliveries"`
+	MeshDelaySec    float64 `json:"mesh_delay_seconds"`
+	CompleteChunks  int64   `json:"complete_chunks"`
+	TotalChunks     int64   `json:"total_chunks"`
+	FillRatio2s     float64 `json:"fill_ratio_2s"`
+	FillRatio10s    float64 `json:"fill_ratio_10s"`
+	OverheadMsgs    uint64  `json:"overhead_messages"`
+	DataTransfers   uint64  `json:"data_transfers"`
+	DataMbit        float64 `json:"data_mbit"`
+	ReceivedPercent float64 `json:"received_percent"`
+}
+
+func writeJSON(path string, res simResult) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }

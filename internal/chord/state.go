@@ -23,6 +23,20 @@ type State[A comparable] struct {
 	succSize int
 	finger   [M]Entry[A]
 	nextFix  int
+
+	// Maintenance counters (pure, guarded by the caller's lock like the
+	// rest of the state): how often the immediate successor changed and
+	// how many failed peers were purged. The live node's telemetry layer
+	// exposes them; the simulator ignores them.
+	succChanges     uint64
+	failuresRemoved uint64
+}
+
+// MaintenanceStats reports how many times the immediate successor changed
+// and how many failed-peer purges removed at least one table entry, since
+// the state was created.
+func (s *State[A]) MaintenanceStats() (succChanges, failuresRemoved uint64) {
+	return s.succChanges, s.failuresRemoved
 }
 
 // NewState creates the state for a node with the given identity.
@@ -73,6 +87,7 @@ func (s *State[A]) SetSuccessor(e Entry[A]) {
 	if s.succ[0].ID == e.ID && s.succ[0].Addr == e.Addr {
 		return
 	}
+	s.succChanges++
 	s.succ = append([]Entry[A]{e}, s.succ...)
 	s.dedupeSucc()
 }
@@ -80,6 +95,7 @@ func (s *State[A]) SetSuccessor(e Entry[A]) {
 // AdoptSuccessorList installs succ's own successor list after a stabilize
 // round: our list becomes [succ, succ.list...] truncated to capacity.
 func (s *State[A]) AdoptSuccessorList(succ Entry[A], list []Entry[A]) {
+	oldHead := s.Successor().Addr
 	merged := make([]Entry[A], 0, s.succSize)
 	merged = append(merged, succ)
 	for _, e := range list {
@@ -90,6 +106,9 @@ func (s *State[A]) AdoptSuccessorList(succ Entry[A], list []Entry[A]) {
 	}
 	s.succ = merged
 	s.dedupeSucc()
+	if len(s.succ) > 0 && s.Successor().Addr != oldHead {
+		s.succChanges++
+	}
 }
 
 func (s *State[A]) dedupeSucc() {
@@ -224,13 +243,17 @@ func (s *State[A]) NextFingerToFix() (i int, start ID) {
 // immediate successor changed (the caller should then re-stabilize).
 func (s *State[A]) RemoveFailed(addr A) bool {
 	oldSucc := s.Successor().Addr
+	removed := false
 	if s.pred.OK && s.pred.Addr == addr {
 		s.pred = Entry[A]{}
+		removed = true
 	}
 	out := s.succ[:0]
 	for _, e := range s.succ {
 		if e.Addr != addr {
 			out = append(out, e)
+		} else {
+			removed = true
 		}
 	}
 	s.succ = out
@@ -240,9 +263,17 @@ func (s *State[A]) RemoveFailed(addr A) bool {
 	for i := range s.finger {
 		if s.finger[i].OK && s.finger[i].Addr == addr {
 			s.finger[i] = Entry[A]{}
+			removed = true
 		}
 	}
-	return s.Successor().Addr != oldSucc
+	if removed {
+		s.failuresRemoved++
+	}
+	changed := s.Successor().Addr != oldSucc
+	if changed {
+		s.succChanges++
+	}
+	return changed
 }
 
 // Neighbors returns the distinct nodes this state knows about (successor

@@ -5,13 +5,19 @@ import (
 	"time"
 
 	"dco/internal/retry"
+	"dco/internal/telemetry"
 	"dco/internal/transport"
 	"dco/internal/wire"
 )
 
-// resilientConfig is fastConfig with test-scaled retry/breaker settings.
+// resilientConfig is fastConfig with test-scaled retry/breaker settings,
+// plus full instrumentation (a per-node registry and trace) so every
+// failover and fault-matrix scenario runs with telemetry enabled — the
+// observability layer must never perturb recovery behavior.
 func resilientConfig(source bool) Config {
 	cfg := fastConfig(source)
+	cfg.Telemetry = telemetry.NewRegistry()
+	cfg.Trace = telemetry.NewTrace(2048)
 	cfg.Retry = retry.Policy{
 		MaxAttempts:    3,
 		InitialBackoff: 10 * time.Millisecond,

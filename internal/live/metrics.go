@@ -1,0 +1,196 @@
+package live
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"dco/internal/telemetry"
+)
+
+// Metric-name conventions (see DESIGN.md, "Observability"): everything the
+// live node records is prefixed dco_live_*, transport-level metrics are
+// dco_transport_* (internal/transport), retry/breaker metrics dco_retry_* /
+// dco_breaker_*, and ring-maintenance metrics dco_ring_*. Counters end in
+// _total; histograms carry base units (_seconds); gauges are bare nouns.
+
+// liveMetrics is the node's metric set on one telemetry registry. A node
+// without a configured registry gets a private one, so every counter is
+// always a real atomic — Stats() reads them lock-free either way, and the
+// chunk serve path never takes n.mu just to count.
+type liveMetrics struct {
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
+
+	lookupsServed  *telemetry.Counter
+	insertsServed  *telemetry.Counter
+	chunksServed   *telemetry.Counter
+	chunksFetched  *telemetry.Counter
+	fetchRetries   *telemetry.Counter
+	busyRejections *telemetry.Counter
+
+	lookupFailovers      *telemetry.Counter
+	providersBlacklisted *telemetry.Counter
+	rpcRetries           *telemetry.Counter
+	retryBackoffNs       *telemetry.Counter
+	breakerOpens         *telemetry.Counter
+	breakerCloses        *telemetry.Counter
+
+	republishes    *telemetry.Counter
+	stabilizeRuns  *telemetry.Counter
+	fingerFixes    *telemetry.Counter
+	handoffEntries *telemetry.Counter
+
+	// chunkFetchSeconds is the per-chunk acquisition latency — from the
+	// moment a viewer starts working on a chunk until it is buffered,
+	// lookup wait and provider failovers included. This is the live
+	// analogue of the paper's mesh-delay metric (metric 1), observed as a
+	// distribution instead of the simulator's whole-network mean.
+	chunkFetchSeconds *telemetry.Histogram
+	lookupSeconds     *telemetry.Histogram
+}
+
+// newLiveMetrics registers the node's metric set on reg (creating a
+// private registry when nil — counters must exist for Stats() even on
+// uninstrumented nodes). Registries are per node: two nodes sharing one
+// would share counters.
+func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &liveMetrics{
+		reg:   reg,
+		trace: tr,
+
+		lookupsServed:  reg.Counter("dco_live_lookups_served_total"),
+		insertsServed:  reg.Counter("dco_live_inserts_served_total"),
+		chunksServed:   reg.Counter("dco_live_chunks_served_total"),
+		chunksFetched:  reg.Counter("dco_live_chunks_fetched_total"),
+		fetchRetries:   reg.Counter("dco_live_fetch_retries_total"),
+		busyRejections: reg.Counter("dco_live_busy_rejections_total"),
+
+		lookupFailovers:      reg.Counter("dco_live_lookup_failovers_total"),
+		providersBlacklisted: reg.Counter("dco_live_providers_blacklisted_total"),
+		rpcRetries:           reg.Counter("dco_retry_attempts_total"),
+		retryBackoffNs:       reg.Counter("dco_retry_backoff_ns_total"),
+		breakerOpens:         reg.Counter("dco_breaker_opens_total"),
+		breakerCloses:        reg.Counter("dco_breaker_closes_total"),
+
+		republishes:    reg.Counter("dco_live_republishes_total"),
+		stabilizeRuns:  reg.Counter("dco_live_stabilize_runs_total"),
+		fingerFixes:    reg.Counter("dco_live_finger_fixes_total"),
+		handoffEntries: reg.Counter("dco_live_handoff_entries_total"),
+
+		chunkFetchSeconds: reg.Histogram("dco_live_chunk_fetch_seconds", telemetry.DefLatencyBuckets),
+		lookupSeconds:     reg.Histogram("dco_live_lookup_seconds", telemetry.DefLatencyBuckets),
+	}
+}
+
+// registerGauges installs the scrape-time computed gauges: the node's view
+// of the paper's fill-ratio and delivered-percentage metrics plus table
+// sizes. They lock n.mu only when scraped.
+func (n *Node) registerGauges() {
+	reg := n.lm.reg
+	reg.GaugeFunc("dco_live_buffered_chunks", func() float64 {
+		return float64(n.ChunkCount())
+	})
+	reg.GaugeFunc("dco_live_fill_ratio", func() float64 {
+		have, want := n.fillState()
+		if want == 0 {
+			return 0
+		}
+		r := float64(have) / float64(want)
+		if r > 1 {
+			r = 1
+		}
+		return r
+	})
+	reg.GaugeFunc("dco_live_delivered_percent", func() float64 {
+		_, want := n.fillState()
+		if want == 0 {
+			return 0
+		}
+		var got uint64
+		if n.cfg.Source {
+			got = uint64(want) // the source holds everything it generated
+		} else {
+			got = n.lm.chunksFetched.Value()
+		}
+		p := 100 * float64(got) / float64(want)
+		if p > 100 {
+			p = 100
+		}
+		return p
+	})
+	reg.GaugeFunc("dco_live_index_entries", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.index))
+	})
+	reg.GaugeFunc("dco_live_blacklist_size", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.blacklist))
+	})
+	reg.GaugeFunc("dco_ring_successor_changes", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		c, _ := n.cs.MaintenanceStats()
+		return float64(c)
+	})
+	reg.GaugeFunc("dco_ring_failures_removed", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		_, r := n.cs.MaintenanceStats()
+		return float64(r)
+	})
+}
+
+// fillState returns (chunks held, chunks the node should currently hold):
+// the newest sequence it knows of bounds the demand, and the active window
+// caps it — the live buffer-fill-ratio analogue of the paper's metric 2.
+func (n *Node) fillState() (have, want int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	have = int64(len(n.chunks))
+	latest := n.latestGen
+	if latest < n.cfg.StartSeq {
+		return have, 0
+	}
+	want = latest - n.cfg.StartSeq + 1
+	if w := int64(n.cfg.ActiveWindow); w > 0 && want > w {
+		want = w
+	}
+	return have, want
+}
+
+// hookResilience wires the retry/breaker layers' observer seams into the
+// node's counters and trace.
+func (n *Node) hookResilience() {
+	self := n.Addr()
+	n.retrier.SetOnRetry(func(addr string, attempt int, pause time.Duration, err error) {
+		n.lm.rpcRetries.Inc()
+		n.lm.retryBackoffNs.Add(uint64(pause))
+		if n.lm.trace != nil {
+			n.lm.trace.Record("rpc.retry", self, fmt.Sprintf("peer=%s attempt=%d pause=%s err=%v", addr, attempt, pause, err))
+		}
+	})
+	n.retrier.Breaker().SetOnTransition(func(addr string, opened bool) {
+		if opened {
+			n.lm.breakerOpens.Inc()
+			n.lm.trace.Record("breaker.open", self, addr)
+		} else {
+			n.lm.breakerCloses.Inc()
+			n.lm.trace.Record("breaker.close", self, addr)
+		}
+	})
+}
+
+// traceEvent records a protocol event attributed to this node.
+func (n *Node) traceEvent(kind, detail string) {
+	if n.lm.trace != nil {
+		n.lm.trace.Record(kind, n.tr.Addr(), detail)
+	}
+}
+
+func seqDetail(seq int64) string { return "seq=" + strconv.FormatInt(seq, 10) }

@@ -17,6 +17,7 @@ import (
 	"dco/internal/chord"
 	"dco/internal/retry"
 	"dco/internal/stream"
+	"dco/internal/telemetry"
 	"dco/internal/transport"
 	"dco/internal/wire"
 )
@@ -86,6 +87,17 @@ type Config struct {
 	// RetrySeed fixes the backoff-jitter schedule (reproducibility).
 	// Zero derives a stable seed from the node's address.
 	RetrySeed int64
+
+	// Telemetry is the metrics registry this node reports through (see
+	// internal/telemetry and DESIGN.md "Observability"). nil gives the
+	// node a private registry: counters still work (Stats() reads them),
+	// they are just not exported anywhere. Registries are per node — two
+	// nodes sharing one registry would share counters.
+	Telemetry *telemetry.Registry
+
+	// Trace, if set, receives protocol events (joins, ring repairs, chunk
+	// fetches/serves, breaker transitions, ...). nil disables tracing.
+	Trace *telemetry.Trace
 }
 
 // DefaultNodeConfig returns sane settings for LAN/localhost deployments.
@@ -132,11 +144,14 @@ type Node struct {
 	closeMu sync.Once
 	wg      sync.WaitGroup
 
-	// Counters (atomic-free: guarded by mu where touched).
-	stats Stats
+	// lm holds the node's telemetry counters/histograms (lock-free
+	// atomics; see metrics.go). Counting never takes n.mu.
+	lm *liveMetrics
 }
 
-// Stats aggregates a node's protocol activity.
+// Stats aggregates a node's protocol activity. It is a compatibility
+// snapshot assembled from the telemetry counters — the registry is the
+// single source of truth.
 type Stats struct {
 	LookupsServed  uint64
 	InsertsServed  uint64
@@ -197,6 +212,9 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		seed = int64(uint64(self.ID))
 	}
 	n.retrier = retry.New(cfg.Retry, retry.NewBreaker(cfg.Breaker), seed)
+	n.lm = newLiveMetrics(cfg.Telemetry, cfg.Trace)
+	n.registerGauges()
+	n.hookResilience()
 	return n, nil
 }
 
@@ -210,14 +228,21 @@ func (n *Node) ID() chord.ID {
 	return n.cs.Self.ID
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters, assembled lock-free
+// from the telemetry registry (and the retrier's own accounting).
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	st := n.stats
-	n.mu.Unlock()
-	st.CallRetries = n.retrier.Retries()
-	st.BreakerOpens = n.retrier.Breaker().Opens()
-	return st
+	return Stats{
+		LookupsServed:        n.lm.lookupsServed.Value(),
+		InsertsServed:        n.lm.insertsServed.Value(),
+		ChunksServed:         n.lm.chunksServed.Value(),
+		ChunksFetched:        n.lm.chunksFetched.Value(),
+		FetchRetries:         n.lm.fetchRetries.Value(),
+		BusyRejections:       n.lm.busyRejections.Value(),
+		CallRetries:          n.retrier.Retries(),
+		BreakerOpens:         n.retrier.Breaker().Opens(),
+		LookupFailovers:      n.lm.lookupFailovers.Value(),
+		ProvidersBlacklisted: n.lm.providersBlacklisted.Value(),
+	}
 }
 
 // HasChunk reports whether the node buffered seq.
@@ -317,9 +342,11 @@ func (n *Node) JoinAny(bootstraps []string) error {
 				errs = append(errs, fmt.Errorf("live: join via %s: %w", b, err))
 				continue
 			}
+			n.traceEvent("join.ok", "via="+b)
 			return nil
 		}
 	}
+	n.traceEvent("join.fail", fmt.Sprintf("bootstraps=%d rounds=%d", len(bootstraps), rounds))
 	if len(errs) == 0 {
 		return errors.New("live: no usable bootstrap address")
 	}
@@ -485,6 +512,7 @@ func (n *Node) noteCallFailure(addr string, err error) {
 	n.mu.Lock()
 	n.cs.RemoveFailed(addr)
 	n.mu.Unlock()
+	n.traceEvent("ring.purge", "peer="+addr)
 }
 
 // ---------------------------------------------------------------------------

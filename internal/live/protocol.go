@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"time"
 
 	"dco/internal/chord"
@@ -109,7 +110,7 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 			n.mu.Unlock()
 			return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 		}
-		n.stats.LookupsServed++
+		n.lm.lookupsServed.Inc()
 		e := n.indexEntryLocked(m.Seq)
 		if len(e.providers) > 0 {
 			resp := &wire.LookupResp{Seq: m.Seq}
@@ -151,7 +152,7 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	if !n.cs.OwnsKey(chord.ID(m.Key)) {
 		return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 	}
-	n.stats.InsertsServed++
+	n.lm.insertsServed.Inc()
 	e := n.indexEntryLocked(m.Seq)
 	if m.Unregister {
 		for i, pr := range e.providers {
@@ -174,25 +175,28 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 }
 
 func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
+	// The serve path counts with lock-free atomics: the only n.mu hold is
+	// the unavoidable chunk-map read.
 	select {
 	case n.serveSem <- struct{}{}:
 	default:
-		n.mu.Lock()
-		n.stats.BusyRejections++
-		n.mu.Unlock()
+		n.lm.busyRejections.Inc()
 		return &wire.ChunkResp{Seq: m.Seq, Busy: true}
 	}
 	defer func() { <-n.serveSem }()
 	n.mu.Lock()
 	data, ok := n.chunks[m.Seq]
-	if ok {
-		n.stats.ChunksServed++
-	}
 	n.mu.Unlock()
+	if ok {
+		n.lm.chunksServed.Inc()
+		n.traceEvent("chunk.serve", seqDetail(m.Seq))
+	}
 	return &wire.ChunkResp{Seq: m.Seq, OK: ok, Data: data}
 }
 
 func (n *Node) onHandoff(m *wire.Handoff) wire.Message {
+	n.lm.handoffEntries.Add(uint64(len(m.Entries)))
+	n.traceEvent("handoff.recv", fmt.Sprintf("entries=%d", len(m.Entries)))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, he := range m.Entries {
@@ -244,6 +248,8 @@ func (n *Node) onLeave(m *wire.Leave) wire.Message {
 // Maintenance loops.
 
 func (n *Node) stabilize() {
+	n.lm.stabilizeRuns.Inc()
+	n.traceEvent("ring.stabilize", "")
 	n.checkPredecessor()
 	n.mu.Lock()
 	succ := n.cs.Successor()
@@ -305,10 +311,15 @@ func (n *Node) checkPredecessor() {
 	}
 	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil && n.peerCondemned(pred.Addr, err) {
 		n.mu.Lock()
+		cleared := false
 		if cur := n.cs.Predecessor(); cur.OK && cur.Addr == pred.Addr {
 			n.cs.ClearPredecessor()
+			cleared = true
 		}
 		n.mu.Unlock()
+		if cleared {
+			n.traceEvent("ring.pred_cleared", "peer="+pred.Addr)
+		}
 	}
 }
 
@@ -320,6 +331,7 @@ func (n *Node) fixFinger() {
 	if err != nil {
 		return
 	}
+	n.lm.fingerFixes.Inc()
 	n.mu.Lock()
 	n.cs.SetFinger(i, entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
 	n.mu.Unlock()
@@ -367,6 +379,7 @@ func (n *Node) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs 
 			return wire.Entry{}, nil, wire.Entry{}, false, errUnexpected(resp)
 		}
 		if fs.Done {
+			n.traceEvent("lookup.route", fmt.Sprintf("key=%016x hops=%d owner=%s", key, hops+1, fs.Owner.Addr))
 			return fs.Owner, fs.Succs, fs.Pred, fs.OK, nil
 		}
 		if fs.Owner.Addr == "" || fs.Owner.Addr == cur {

@@ -85,6 +85,7 @@ func (n *Node) republish() {
 		idx := int(n.republishCursor % uint64(len(seqs)))
 		n.republishCursor++
 		n.mu.Unlock()
+		n.lm.republishes.Inc()
 		n.insertIndex(seqs[idx])
 	}
 }
@@ -169,6 +170,7 @@ func (n *Node) FetchChunk(seq int64) error {
 	if n.HasChunk(seq) {
 		return nil
 	}
+	start := time.Now()
 	key := uint64(n.cfg.Channel.Ref(seq).ID())
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -198,6 +200,7 @@ func (n *Node) FetchChunk(seq int64) error {
 				// for ProviderCooldown and the fetch moves to the next
 				// provider rather than retrying the same one.
 				lastErr = err
+				n.traceEvent("chunk.timeout", seqDetail(seq)+" peer="+pr.Addr)
 				n.blacklistProvider(pr.Addr)
 				continue
 			}
@@ -217,6 +220,8 @@ func (n *Node) FetchChunk(seq int64) error {
 			}
 			n.storeChunk(seq, cr.Data)
 			n.registerChunk(seq)
+			n.lm.chunkFetchSeconds.Observe(time.Since(start).Seconds())
+			n.traceEvent("chunk.fetch", seqDetail(seq)+" peer="+pr.Addr)
 			return nil
 		}
 		n.bumpRetry()
@@ -231,8 +236,9 @@ func (n *Node) blacklistProvider(addr string) {
 	}
 	n.mu.Lock()
 	n.blacklist[addr] = time.Now().Add(n.cfg.ProviderCooldown)
-	n.stats.ProvidersBlacklisted++
 	n.mu.Unlock()
+	n.lm.providersBlacklisted.Inc()
+	n.traceEvent("provider.blacklist", "peer="+addr)
 }
 
 // providerUsable reports whether addr may be asked for chunks (expired
@@ -257,6 +263,7 @@ func (n *Node) providerUsable(addr string) bool {
 // asking it is the fastest route to the surviving index. A not-the-owner
 // rejection means ownership is still moving — re-route and try again.
 func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
+	start := time.Now()
 	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(n.cfg.LookupWait / time.Millisecond)}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -308,10 +315,10 @@ func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
 				continue
 			}
 			if ci > 0 {
-				n.mu.Lock()
-				n.stats.LookupFailovers++
-				n.mu.Unlock()
+				n.lm.lookupFailovers.Inc()
+				n.traceEvent("lookup.failover", seqDetail(seq)+" coordinator="+c.Addr)
 			}
+			n.lm.lookupSeconds.Observe(time.Since(start).Seconds())
 			return lr.Providers, nil
 		}
 	}
@@ -323,7 +330,7 @@ func (n *Node) storeChunk(seq int64, data []byte) {
 	_, dup := n.chunks[seq]
 	if !dup {
 		n.chunks[seq] = data
-		n.stats.ChunksFetched++
+		n.lm.chunksFetched.Inc()
 		if seq > n.latestGen {
 			n.latestGen = seq
 		}
@@ -377,9 +384,7 @@ func (n *Node) unregisterExpired(seqs []int64) {
 }
 
 func (n *Node) bumpRetry() {
-	n.mu.Lock()
-	n.stats.FetchRetries++
-	n.mu.Unlock()
+	n.lm.fetchRetries.Inc()
 	select {
 	case <-n.closed:
 	case <-time.After(150 * time.Millisecond):

@@ -1,0 +1,95 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrierOnRetryHook(t *testing.T) {
+	r := New(Policy{MaxAttempts: 4, InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}, nil, 1)
+	type retryEvt struct {
+		addr    string
+		attempt int
+		pause   time.Duration
+	}
+	var seen []retryEvt
+	r.SetOnRetry(func(addr string, attempt int, pause time.Duration, err error) {
+		if err == nil {
+			t.Error("hook must carry the failing error")
+		}
+		seen = append(seen, retryEvt{addr, attempt, pause})
+	})
+	calls := 0
+	err := r.Do(nil, "peer-a", Classify{}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("hook fired %d times, want 2 (attempts before the successful third)", len(seen))
+	}
+	for i, e := range seen {
+		if e.addr != "peer-a" || e.attempt != i+1 || e.pause <= 0 {
+			t.Fatalf("hook event %d = %+v", i, e)
+		}
+	}
+	if r.BackoffTotal() < seen[0].pause+seen[1].pause {
+		t.Fatalf("BackoffTotal %v < sum of hook pauses", r.BackoffTotal())
+	}
+}
+
+func TestBreakerTransitionHook(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Millisecond})
+	type transition struct {
+		addr   string
+		opened bool
+	}
+	var seen []transition
+	b.SetOnTransition(func(addr string, opened bool) {
+		seen = append(seen, transition{addr, opened})
+	})
+
+	b.Failure("x")
+	if len(seen) != 0 {
+		t.Fatal("hook fired before the threshold")
+	}
+	b.Failure("x") // opens
+	if len(seen) != 1 || !seen[0].opened || seen[0].addr != "x" {
+		t.Fatalf("after open: %+v", seen)
+	}
+	b.Failure("x") // already open: no transition
+	if len(seen) != 1 {
+		t.Fatalf("re-failure of an open circuit fired the hook: %+v", seen)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	if !b.Allow("x") {
+		t.Fatal("half-open probe not admitted after cooldown")
+	}
+	b.Success("x") // closes
+	if len(seen) != 2 || seen[1].opened {
+		t.Fatalf("after close: %+v", seen)
+	}
+	if b.Opens() != 1 || b.Closes() != 1 {
+		t.Fatalf("opens=%d closes=%d, want 1/1", b.Opens(), b.Closes())
+	}
+
+	// Success on a clean (never-tripped) peer is not a close transition.
+	b.Success("y")
+	if len(seen) != 2 || b.Closes() != 1 {
+		t.Fatalf("clean success counted as a close: %+v closes=%d", seen, b.Closes())
+	}
+}
+
+func TestNilBreakerHookSafe(t *testing.T) {
+	var b *Breaker
+	b.SetOnTransition(func(string, bool) {}) // must not panic
+	b.Failure("x")
+	b.Success("x")
+}

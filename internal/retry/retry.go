@@ -137,11 +137,26 @@ type Breaker struct {
 	mu     sync.Mutex
 	states map[string]*breakerState
 	opens  uint64
+	closes uint64
+	hook   func(addr string, opened bool)
 }
 
 // NewBreaker returns a breaker with cfg.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg, now: time.Now, states: make(map[string]*breakerState)}
+}
+
+// SetOnTransition installs a hook invoked after a circuit opens
+// (opened=true) or closes again after having been open (opened=false) —
+// the telemetry seam for breaker events. The hook runs outside the
+// breaker's lock but must still be fast and must not block.
+func (b *Breaker) SetOnTransition(fn func(addr string, opened bool)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.hook = fn
+	b.mu.Unlock()
 }
 
 // Allow reports whether a call to addr may proceed. In the open phase it
@@ -183,8 +198,17 @@ func (b *Breaker) Success(addr string) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	s := b.states[addr]
+	closed := s != nil && s.phase != phaseClosed
+	if closed {
+		b.closes++
+	}
 	delete(b.states, addr)
+	hook := b.hook
+	b.mu.Unlock()
+	if closed && hook != nil {
+		hook(addr, false)
+	}
 }
 
 // Failure records a failed call to addr; enough consecutive failures open
@@ -194,7 +218,6 @@ func (b *Breaker) Failure(addr string) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	s := b.states[addr]
 	if s == nil {
 		s = &breakerState{}
@@ -202,13 +225,20 @@ func (b *Breaker) Failure(addr string) {
 	}
 	s.failures++
 	s.probing = false
+	opened := false
 	if s.phase == phaseHalfOpen || s.failures >= b.cfg.Threshold {
 		if s.phase != phaseOpen {
 			b.opens++
+			opened = true
 		}
 		s.phase = phaseOpen
 		s.openedAt = b.now()
 		s.failures = 0
+	}
+	hook := b.hook
+	b.mu.Unlock()
+	if opened && hook != nil {
+		hook(addr, true)
 	}
 }
 
@@ -237,6 +267,17 @@ func (b *Breaker) Opens() uint64 {
 	return b.opens
 }
 
+// Closes returns how many times an open (or half-open) circuit closed
+// again after a successful call.
+func (b *Breaker) Closes() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closes
+}
+
 // Forget drops all state for addr (e.g. the peer left the ring).
 func (b *Breaker) Forget(addr string) {
 	if b == nil {
@@ -257,7 +298,9 @@ type Retrier struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	attempts uint64 // total retry attempts beyond the first try
+	attempts uint64        // total retry attempts beyond the first try
+	slept    time.Duration // total backoff pause scheduled
+	onRetry  func(addr string, attempt int, pause time.Duration, err error)
 }
 
 // New builds a Retrier. breaker may be nil. seed fixes the jitter
@@ -277,11 +320,31 @@ func (r *Retrier) Retries() uint64 {
 	return r.attempts
 }
 
+// BackoffTotal returns the cumulative pause time scheduled between
+// attempts (the wall-clock cost of the retry discipline).
+func (r *Retrier) BackoffTotal() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slept
+}
+
+// SetOnRetry installs a hook invoked each time Do schedules a retry:
+// attempt is the failed attempt number (1-based), pause the backoff about
+// to be slept, err the failure that caused it. The telemetry seam for
+// retry events; must be fast and non-blocking.
+func (r *Retrier) SetOnRetry(fn func(addr string, attempt int, pause time.Duration, err error)) {
+	r.mu.Lock()
+	r.onRetry = fn
+	r.mu.Unlock()
+}
+
 func (r *Retrier) pause(n int) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.attempts++
-	return r.policy.backoff(n, r.rng)
+	d := r.policy.backoff(n, r.rng)
+	r.slept += d
+	return d
 }
 
 // Classify tells Do how to treat op errors.
@@ -342,6 +405,12 @@ func (r *Retrier) Do(done <-chan struct{}, addr string, c Classify, op func() er
 		pause := r.pause(n)
 		if !deadline.IsZero() && time.Now().Add(pause).After(deadline) {
 			return err
+		}
+		r.mu.Lock()
+		hook := r.onRetry
+		r.mu.Unlock()
+		if hook != nil {
+			hook(addr, n, pause, err)
 		}
 		select {
 		case <-done:

@@ -1,0 +1,58 @@
+package telemetry
+
+import "testing"
+
+// The hot-path budget: chunk-rate instrumentation must stay in the
+// nanoseconds-per-op range, uncontended and contended alike.
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(DefLatencyBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.042)
+		}
+	})
+}
+
+func BenchmarkTraceRecord(b *testing.B) {
+	tr := NewTrace(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record("chunk.serve", "127.0.0.1:7000", "seq=1")
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// baseName strips an inline label set: "dco_rpc_total{kind=\"x\"}" ->
+// "dco_rpc_total". Label variants of one base must share a metric type;
+// Registry.claim enforces that through this function.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// splitName returns the base name and the label body without braces
+// ("" when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per base name,
+// histogram buckets cumulative with the canonical `le` label.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+	r.mu.Lock()
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	// Sorting by (base, full name) keeps label variants of one metric
+	// adjacent so their shared TYPE header is emitted exactly once.
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+
+	lastBase := ""
+	for _, name := range names {
+		base, labels := splitName(name)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kinds[base])
+			lastBase = base
+		}
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(w, "%s %d\n", name, v)
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+			continue
+		}
+		h := s.Histograms[name]
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, joinLabels(labels), formatFloat(bound), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, joinLabels(labels), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", base, braced(labels), formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), h.Count)
+	}
+}
+
+func joinLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WriteJSON renders the registry snapshot as one JSON document — the
+// /debug/vars.json payload.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ---------------------------------------------------------------------------
+// HTTP exposition.
+
+// Handler serves the observability surface for one registry/trace pair:
+//
+//	/metrics          Prometheus text format
+//	/debug/vars.json  JSON snapshot of every metric
+//	/debug/trace      protocol event ring (text; ?format=json for JSON)
+//	/debug/pprof/     the standard runtime profiles
+//
+// tr may be nil (the trace endpoint then serves an empty ring).
+func Handler(reg *Registry, tr *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = tr.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (":9090", or
+// "127.0.0.1:0" for an ephemeral port) and returns the running server.
+func Serve(addr string, reg *Registry, tr *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 10 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ephemeral ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

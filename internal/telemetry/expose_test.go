@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one metric of each type, with
+// deterministic values for exact text comparison.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("dco_live_chunks_served_total").Add(12)
+	r.Counter(`dco_rpc_total{kind="lookup"}`).Add(3)
+	r.Counter(`dco_rpc_total{kind="insert"}`).Add(4)
+	r.Gauge("dco_live_buffered_chunks").Set(30)
+	r.GaugeFunc("dco_live_fill_ratio", func() float64 { return 0.75 })
+	h := r.Histogram("dco_live_chunk_fetch_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+	return r
+}
+
+const goldenPrometheus = `# TYPE dco_live_buffered_chunks gauge
+dco_live_buffered_chunks 30
+# TYPE dco_live_chunk_fetch_seconds histogram
+dco_live_chunk_fetch_seconds_bucket{le="0.1"} 1
+dco_live_chunk_fetch_seconds_bucket{le="1"} 3
+dco_live_chunk_fetch_seconds_bucket{le="+Inf"} 4
+dco_live_chunk_fetch_seconds_sum 4.05
+dco_live_chunk_fetch_seconds_count 4
+# TYPE dco_live_chunks_served_total counter
+dco_live_chunks_served_total 12
+# TYPE dco_live_fill_ratio gauge
+dco_live_fill_ratio 0.75
+# TYPE dco_rpc_total counter
+dco_rpc_total{kind="insert"} 4
+dco_rpc_total{kind="lookup"} 3
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WritePrometheus(&buf)
+	if got := buf.String(); got != goldenPrometheus {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf) // must not panic
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestWriteJSONParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if s.Counters["dco_live_chunks_served_total"] != 12 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if s.Gauges["dco_live_fill_ratio"] != 0.75 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	if h := s.Histograms["dco_live_chunk_fetch_seconds"]; h.Count != 4 {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	tr := NewTrace(16)
+	tr.Record("chunk.serve", "n1", "seq=1")
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	code, ctype, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics: code=%d type=%q", code, ctype)
+	}
+	if body != goldenPrometheus {
+		t.Fatalf("/metrics body mismatch:\n%s", body)
+	}
+
+	code, ctype, body = get(t, srv, "/debug/vars.json")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars.json: code=%d type=%q", code, ctype)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/debug/vars.json invalid: %v", err)
+	}
+
+	code, _, body = get(t, srv, "/debug/trace")
+	if code != http.StatusOK || !strings.Contains(body, "chunk.serve") {
+		t.Fatalf("/debug/trace: code=%d body=%q", code, body)
+	}
+	code, ctype, body = get(t, srv, "/debug/trace?format=json")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/trace json: code=%d type=%q", code, ctype)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/trace json invalid: %v", err)
+	}
+
+	code, _, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestHandlerNilTrace(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/debug/trace"); code != http.StatusOK {
+		t.Fatalf("/debug/trace with nil trace: code=%d", code)
+	}
+	if code, _, body := get(t, srv, "/debug/trace?format=json"); code != http.StatusOK || !strings.Contains(body, `"total": 0`) {
+		t.Fatalf("/debug/trace json with nil trace: code=%d body=%q", code, body)
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dco_x_total").Inc()
+	s, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "dco_x_total 1") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+}
+
+func TestBaseNameSplit(t *testing.T) {
+	if baseName(`a_total{k="v"}`) != "a_total" || baseName("a_total") != "a_total" {
+		t.Fatal("baseName")
+	}
+	b, l := splitName(`h_seconds{kind="x"}`)
+	if b != "h_seconds" || l != `kind="x"` {
+		t.Fatalf("splitName = %q, %q", b, l)
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	r.GaugeFunc("x", func() float64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	bounds, counts, count, sum := h.Snapshot()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("snapshot shape: %d bounds, %d counts", len(bounds), len(counts))
+	}
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive upper limits);
+	// 0.5 in le=1; 2 in le=10; 100 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-102.65) > 1e-9 {
+		t.Fatalf("sum = %g, want 102.65", sum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]float64{1, 0.1, 10})
+	bounds, _, _, _ := h.Snapshot()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			t.Fatalf("bounds not sorted: %v", bounds)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dco_x_total")
+	b := r.Counter("dco_x_total")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	h1 := r.Histogram("dco_lat_seconds", DefLatencyBuckets)
+	h2 := r.Histogram("dco_lat_seconds", nil) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dco_thing_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one base name as two types must panic")
+		}
+	}()
+	// Same base name via a label variant: still a conflict.
+	r.Gauge(`dco_thing_total{kind="x"}`)
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h_seconds", []float64{0.5})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if math.Abs(h.Sum()-workers*perWorker*0.25) > 1e-6 {
+		t.Fatalf("histogram sum = %g", h.Sum())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dco_c_total").Add(3)
+	r.Gauge("dco_g").Set(-7)
+	r.GaugeFunc("dco_ratio", func() float64 { return 0.5 })
+	r.Histogram("dco_h_seconds", []float64{1, 2}).Observe(1.5)
+
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["dco_c_total"] != 3 {
+		t.Fatalf("counter lost in round trip: %+v", got.Counters)
+	}
+	if got.Gauges["dco_g"] != -7 || got.Gauges["dco_ratio"] != 0.5 {
+		t.Fatalf("gauges lost in round trip: %+v", got.Gauges)
+	}
+	h := got.Histograms["dco_h_seconds"]
+	if h.Count != 1 || h.Sum != 1.5 || len(h.Counts) != 3 || h.Counts[1] != 1 {
+		t.Fatalf("histogram lost in round trip: %+v", h)
+	}
+}

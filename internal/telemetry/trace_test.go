@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRetainsInOrder(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 5; i++ {
+		tr.Record("k", "n1", strconv.Itoa(i))
+	}
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("retained %d events, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if e.Detail != strconv.Itoa(i) {
+			t.Fatalf("event %d detail = %q", i, e.Detail)
+		}
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record("k", "", strconv.Itoa(i))
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(ev))
+	}
+	// Oldest-first: the last 4 of 10 are 6,7,8,9.
+	for i, e := range ev {
+		if want := strconv.Itoa(6 + i); e.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, e.Detail, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10 (counts must survive eviction)", tr.Total())
+	}
+	if tr.Count("k") != 10 {
+		t.Fatalf("count(k) = %d, want 10", tr.Count("k"))
+	}
+}
+
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := fmt.Sprintf("kind.%d", w)
+			for i := 0; i < perWorker; i++ {
+				tr.Record(kind, "node", "d")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != workers*perWorker {
+		t.Fatalf("total = %d, want %d", tr.Total(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if n := tr.Count(fmt.Sprintf("kind.%d", w)); n != perWorker {
+			t.Fatalf("count(kind.%d) = %d, want %d", w, n, perWorker)
+		}
+	}
+	if got := len(tr.Events()); got != 64 {
+		t.Fatalf("retained %d, want capacity 64", got)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Record("k", "n", "d")
+	tr.Recordf("k", "n", "%d", 1)
+	if tr.Total() != 0 || tr.Events() != nil || tr.Count("k") != 0 {
+		t.Fatal("nil trace must ignore everything")
+	}
+	var buf bytes.Buffer
+	tr.Dump(&buf) // must not panic
+}
+
+func TestTraceMinimumCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record("a", "", "1")
+	tr.Record("b", "", "2")
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Kind != "b" {
+		t.Fatalf("capacity-0 trace must retain exactly the newest event, got %+v", ev)
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace(4)
+	tr.clock = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+	tr.Record("chunk.serve", "127.0.0.1:7000", "seq=3")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total  uint64            `json:"total"`
+		Counts map[string]uint64 `json:"counts"`
+		Events []Event           `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Total != 1 || doc.Counts["chunk.serve"] != 1 || len(doc.Events) != 1 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if doc.Events[0].Detail != "seq=3" || doc.Events[0].Node != "127.0.0.1:7000" {
+		t.Fatalf("event lost fields: %+v", doc.Events[0])
+	}
+}
+
+func TestTraceDumpFormat(t *testing.T) {
+	tr := NewTrace(4)
+	tr.clock = func() time.Time { return time.Unix(1700000000, 0).UTC() }
+	tr.Record("a.b", "n1", "x=1")
+	tr.Record("a.b", "n1", "x=2")
+	tr.Record("c.d", "n2", "")
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"# 3 events total, 3 retained", "#          2  a.b", "#          1  c.d", "node=n1", "x=2"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/telemetry"
+	"dco/internal/wire"
+)
+
+// echoChunk serves every GetChunk with a fixed payload and acks the rest.
+type echoChunk struct{ payload []byte }
+
+func (e echoChunk) Serve(_ string, req wire.Message) wire.Message {
+	if g, ok := req.(*wire.GetChunk); ok {
+		return &wire.ChunkResp{Seq: g.Seq, OK: true, Data: e.payload}
+	}
+	return &wire.Ack{}
+}
+
+func TestMemMetricsCountBothEndpoints(t *testing.T) {
+	f := NewFabric()
+	server := f.Attach(echoChunk{payload: make([]byte, 1024)})
+	client := f.Attach(echoChunk{})
+
+	reg := telemetry.NewRegistry()
+	cm := NewMetrics(reg)
+	sreg := telemetry.NewRegistry()
+	sm := NewMetrics(sreg)
+	client.SetMetrics(cm)
+	server.SetMetrics(sm)
+
+	if _, err := client.Call(server.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(server.Addr(), &wire.GetChunk{Seq: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := cm.Calls.Value(); got != 2 {
+		t.Fatalf("client calls = %d, want 2", got)
+	}
+	if cm.CallErrors.Value() != 0 {
+		t.Fatalf("call errors = %d, want 0", cm.CallErrors.Value())
+	}
+	if cm.FramesOut.Value() != 2 || cm.FramesIn.Value() != 2 {
+		t.Fatalf("client frames out/in = %d/%d, want 2/2", cm.FramesOut.Value(), cm.FramesIn.Value())
+	}
+	// The chunk reply is the only data frame; everything else is control.
+	if cm.DataBytesIn.Value() < 1024 {
+		t.Fatalf("client data bytes in = %d, want >= chunk payload", cm.DataBytesIn.Value())
+	}
+	if cm.DataBytesOut.Value() != 0 {
+		t.Fatalf("client data bytes out = %d, want 0", cm.DataBytesOut.Value())
+	}
+	if cm.BytesIn.Value() <= cm.DataBytesIn.Value() {
+		t.Fatalf("total bytes in (%d) must exceed data bytes in (%d): the Pong is control",
+			cm.BytesIn.Value(), cm.DataBytesIn.Value())
+	}
+	// The server mirrors the client: its DataBytesOut is the chunk frame.
+	if sm.DataBytesOut.Value() != cm.DataBytesIn.Value() {
+		t.Fatalf("server data out %d != client data in %d", sm.DataBytesOut.Value(), cm.DataBytesIn.Value())
+	}
+	if r := cm.OverheadRatio(); r <= 0 {
+		t.Fatalf("overhead ratio = %g, want > 0 once data and control both moved", r)
+	}
+	if cm.CallSeconds.Count() != 2 {
+		t.Fatalf("call latency observations = %d, want 2", cm.CallSeconds.Count())
+	}
+}
+
+func TestTCPMetricsCountCalls(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoChunk{payload: make([]byte, 256)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", echoChunk{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	cli.SetMetrics(m)
+
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Call(srv.Addr(), &wire.GetChunk{Seq: int64(i)}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Calls.Value() != 3 {
+		t.Fatalf("calls = %d, want 3", m.Calls.Value())
+	}
+	if m.Dials.Value() != 1 || m.PoolHits.Value() != 2 {
+		t.Fatalf("dials=%d poolHits=%d, want 1 dial then 2 pool hits", m.Dials.Value(), m.PoolHits.Value())
+	}
+	if m.DataBytesIn.Value() < 3*256 {
+		t.Fatalf("data bytes in = %d, want >= 768", m.DataBytesIn.Value())
+	}
+	// Errors are counted too.
+	if _, err := cli.Call("127.0.0.1:1", &wire.Ping{}, 200*time.Millisecond); err == nil {
+		t.Fatal("call to a dead port must fail")
+	}
+	if m.CallErrors.Value() != 1 {
+		t.Fatalf("call errors = %d, want 1", m.CallErrors.Value())
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.noteOut(wire.KindPing, 10)
+	m.noteIn(wire.KindChunkResp, 10)
+	m.notePoolHit()
+	m.noteDial()
+	m.noteCall(time.Now(), nil)
+	if m.OverheadRatio() != 0 {
+		t.Fatal("nil metrics overhead ratio must be 0")
+	}
+}
+
+// benchTransportCall measures one TCP round trip with telemetry attached or
+// detached; the satellite requirement is <2% delta between the two.
+func benchTransportCall(b *testing.B, instrument bool) {
+	srv, err := ListenTCP("127.0.0.1:0", echoChunk{payload: make([]byte, 4096)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", echoChunk{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	if instrument {
+		cli.SetMetrics(NewMetrics(telemetry.NewRegistry()))
+		srv.SetMetrics(NewMetrics(telemetry.NewRegistry()))
+	}
+	req := &wire.GetChunk{Seq: 1}
+	if _, err := cli.Call(srv.Addr(), req, time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(srv.Addr(), req, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCallTelemetryOff(b *testing.B) { benchTransportCall(b, false) }
+func BenchmarkTCPCallTelemetryOn(b *testing.B)  { benchTransportCall(b, true) }

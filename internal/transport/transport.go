@@ -54,6 +54,9 @@ type TCP struct {
 	// giant allocation. Defaults to wire.MaxFrame.
 	maxFrame atomic.Uint32
 
+	// metrics, when set, meters every frame and call (telemetry).
+	metrics atomic.Pointer[Metrics]
+
 	mu     sync.Mutex
 	pools  map[string][]net.Conn
 	active map[net.Conn]bool
@@ -90,6 +93,11 @@ func (t *TCP) SetMaxFrameSize(n uint32) {
 	t.maxFrame.Store(n)
 }
 
+// SetMetrics attaches (or detaches, with nil) a metric set. Safe to call
+// concurrently with traffic; frames in flight during the switch may be
+// attributed to either set.
+func (t *TCP) SetMetrics(m *Metrics) { t.metrics.Store(m) }
+
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -123,16 +131,20 @@ func (t *TCP) serveConn(conn net.Conn) {
 		// A generous per-exchange deadline keeps dead peers from pinning
 		// goroutines forever.
 		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
-		req, err := wire.ReadMessageLimit(conn, t.maxFrame.Load())
+		req, nIn, err := wire.ReadMessageLimitN(conn, t.maxFrame.Load())
+		m := t.metrics.Load()
 		if err != nil {
 			return
 		}
+		m.noteIn(req.Kind(), nIn)
 		resp := t.handler.Serve(remote, req)
 		if resp == nil {
 			resp = &wire.Ack{}
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-		if err := wire.WriteMessage(conn, resp); err != nil {
+		nOut, err := wire.WriteMessageN(conn, resp)
+		m.noteOut(resp.Kind(), nOut)
+		if err != nil {
 			return
 		}
 	}
@@ -144,10 +156,12 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	deadline := start.Add(timeout)
 
 	conn, pooled, err := t.getConn(addr, timeout)
 	if err != nil {
+		t.metrics.Load().noteCall(start, err)
 		return nil, err
 	}
 	resp, err := t.exchange(conn, req, deadline)
@@ -163,6 +177,7 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 		conn = fresh
 		resp, err = t.exchange(conn, req, deadline)
 	}
+	t.metrics.Load().noteCall(start, err)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -176,10 +191,18 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 
 func (t *TCP) exchange(conn net.Conn, req wire.Message, deadline time.Time) (wire.Message, error) {
 	_ = conn.SetDeadline(deadline)
-	if err := wire.WriteMessage(conn, req); err != nil {
+	m := t.metrics.Load()
+	nOut, err := wire.WriteMessageN(conn, req)
+	m.noteOut(req.Kind(), nOut)
+	if err != nil {
 		return nil, err
 	}
-	return wire.ReadMessageLimit(conn, t.maxFrame.Load())
+	resp, nIn, err := wire.ReadMessageLimitN(conn, t.maxFrame.Load())
+	if err != nil {
+		return nil, err
+	}
+	m.noteIn(resp.Kind(), nIn)
+	return resp, nil
 }
 
 func (t *TCP) getConn(addr string, timeout time.Duration) (net.Conn, bool, error) {
@@ -193,6 +216,7 @@ func (t *TCP) getConn(addr string, timeout time.Duration) (net.Conn, bool, error
 		conn := pool[n-1]
 		t.pools[addr] = pool[:n-1]
 		t.mu.Unlock()
+		t.metrics.Load().notePoolHit()
 		return conn, true, nil
 	}
 	t.mu.Unlock()
@@ -204,6 +228,7 @@ func (t *TCP) dial(addr string, timeout time.Duration) (net.Conn, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	t.metrics.Load().noteDial()
 	return conn, false, nil
 }
 
@@ -262,9 +287,14 @@ type Mem struct {
 	fabric  *Fabric
 	addr    string
 	handler Handler
+	metrics atomic.Pointer[Metrics]
 	closed  bool
 	mu      sync.Mutex
 }
+
+// SetMetrics attaches (or detaches, with nil) a metric set, mirroring
+// (*TCP).SetMetrics so tests meter the same way production does.
+func (m *Mem) SetMetrics(ms *Metrics) { m.metrics.Store(ms) }
 
 // Attach registers a new endpoint serving h.
 func (f *Fabric) Attach(h Handler) *Mem {
@@ -281,6 +311,14 @@ func (m *Mem) Addr() string { return m.addr }
 
 // Call delivers req to the endpoint registered at addr.
 func (m *Mem) Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	start := time.Now()
+	mm := m.metrics.Load()
+	resp, err := m.call(addr, req, mm)
+	mm.noteCall(start, err)
+	return resp, err
+}
+
+func (m *Mem) call(addr string, req wire.Message, mm *Metrics) (wire.Message, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -307,19 +345,25 @@ func (m *Mem) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 		time.Sleep(lat)
 	}
 	// Round-trip through the wire codec so the in-memory transport
-	// exercises exactly the bytes TCP would carry.
-	req2, err := roundTrip(req)
+	// exercises exactly the bytes TCP would carry — and meters them on
+	// both endpoints, exactly as two TCP peers would.
+	dm := dst.metrics.Load()
+	req2, nReq, err := roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
+	mm.noteOut(req2.Kind(), nReq)
+	dm.noteIn(req2.Kind(), nReq)
 	resp := h.Serve(m.addr, req2)
 	if resp == nil {
 		resp = &wire.Ack{}
 	}
-	resp2, err := roundTrip(resp)
+	resp2, nResp, err := roundTrip(resp)
 	if err != nil {
 		return nil, err
 	}
+	dm.noteOut(resp2.Kind(), nResp)
+	mm.noteIn(resp2.Kind(), nResp)
 	if e, ok := resp2.(*wire.Error); ok {
 		return nil, e
 	}
@@ -335,12 +379,14 @@ func (m *Mem) Close() error {
 	return nil
 }
 
-func roundTrip(msg wire.Message) (wire.Message, error) {
+func roundTrip(msg wire.Message) (wire.Message, int, error) {
 	var buf memBuffer
-	if err := wire.WriteMessage(&buf, msg); err != nil {
-		return nil, err
+	n, err := wire.WriteMessageN(&buf, msg)
+	if err != nil {
+		return nil, 0, err
 	}
-	return wire.ReadMessage(&buf)
+	out, err := wire.ReadMessage(&buf)
+	return out, n, err
 }
 
 type memBuffer struct{ b []byte }

@@ -211,18 +211,28 @@ type Leave struct {
 
 // WriteMessage frames and writes m: uint32 length, kind byte, payload.
 func WriteMessage(w io.Writer, m Message) error {
+	_, err := WriteMessageN(w, m)
+	return err
+}
+
+// WriteMessageN is WriteMessage returning the number of bytes put on the
+// wire (header included), so transports can meter traffic without
+// encoding the message twice.
+func WriteMessageN(w io.Writer, m Message) (int, error) {
 	payload := m.encode(nil)
 	if len(payload)+1 > MaxFrame {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = byte(m.Kind())
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return len(hdr), err
+	}
+	return len(hdr) + len(payload), nil
 }
 
 // ReadMessage reads one framed message, bounded by MaxFrame.
@@ -235,33 +245,41 @@ func ReadMessage(r io.Reader) (Message, error) {
 // hostile or corrupt length prefix cannot balloon memory. limit values
 // of 0 or above MaxFrame clamp to MaxFrame.
 func ReadMessageLimit(r io.Reader, limit uint32) (Message, error) {
+	m, _, err := ReadMessageLimitN(r, limit)
+	return m, err
+}
+
+// ReadMessageLimitN is ReadMessageLimit returning the number of bytes the
+// frame occupied on the wire (header included).
+func ReadMessageLimitN(r io.Reader, limit uint32) (Message, int, error) {
 	if limit == 0 || limit > MaxFrame {
 		limit = MaxFrame
 	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return nil, ErrTruncated
+		return nil, len(hdr), ErrTruncated
 	}
 	if n > limit {
-		return nil, ErrFrameTooLarge
+		return nil, len(hdr), ErrFrameTooLarge
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return nil, len(hdr), err
 	}
+	size := len(hdr) + int(n)
 	m, err := New(Kind(buf[0]))
 	if err != nil {
-		return nil, err
+		return nil, size, err
 	}
 	rd := &reader{b: buf[1:]}
 	if err := m.decode(rd); err != nil {
-		return nil, err
+		return nil, size, err
 	}
-	return m, nil
+	return m, size, nil
 }
 
 // New returns a zero message of the given kind.
