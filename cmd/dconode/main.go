@@ -59,6 +59,12 @@ func main() {
 		joinAttempts    = flag.Int("join-attempts", 3, "rounds over the -join list before giving up")
 		maxFrameKB      = flag.Int("max-frame-kb", 0, "per-connection frame size cap in KiB (0 = wire protocol default)")
 
+		// Replication & repair (see DESIGN.md, "Replication & repair").
+		replicas    = flag.Int("replicas", 2, "index replication factor: successors mirroring each coordinator's entries (0 disables)")
+		replEvery   = flag.Duration("replicate-every", 150*time.Millisecond, "how often queued index ops are batch-flushed to the replicas")
+		antiEntropy = flag.Duration("antientropy-every", 3*time.Second, "digest-exchange period repairing replicas that missed batches")
+		indexTTL    = flag.Duration("index-ttl", 45*time.Second, "provider lease in the chunk index; republishes refresh it (0 disables expiry)")
+
 		// Fault injection (testing/chaos drills; off by default).
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		faultDrop     = flag.Float64("fault-drop", 0, "probability a call is dropped (0 disables)")
@@ -86,6 +92,10 @@ func main() {
 	cfg.Breaker.Cooldown = *breakerCooldown
 	cfg.ProviderCooldown = *providerCool
 	cfg.JoinAttempts = *joinAttempts
+	cfg.Replicas = *replicas
+	cfg.ReplicateEvery = *replEvery
+	cfg.AntiEntropyEvery = *antiEntropy
+	cfg.IndexTTL = *indexTTL
 
 	// One registry + trace per process: the node, the transport and the
 	// exposition server all share it.
@@ -203,10 +213,11 @@ func main() {
 			if *verbosity >= 1 {
 				st := node.Stats()
 				_, succ := node.Successor()
-				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d succ=%s\n",
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d succ=%s\n",
 					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
 					st.FetchRetries, st.BusyRejections,
-					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted, succ)
+					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted,
+					st.ReplicaOpsApplied, st.IndexTakeovers, succ)
 			}
 			if *chunks > 0 && !*source && int64(node.ChunkCount()) >= *chunks {
 				fmt.Println("stream complete; leaving")

@@ -1,0 +1,180 @@
+package main
+
+// The "live" method benchmarks the real node stack (internal/live over the
+// in-memory fabric) instead of the discrete-event simulator: a source plus
+// n-1 viewers stream a bounded channel to completion, optionally killing
+// one coordinator mid-stream, and the run reports the replication layer's
+// cost and effect — index-insert bytes vs replication bytes (write
+// amplification), digest traffic, takeovers, and lookup failures. This is
+// what BENCH_PR3.json is generated from: an r=0 run is the PR 2 baseline,
+// an r>0 run shows the overhead replication adds and the outage it removes.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dco/internal/live"
+	"dco/internal/transport"
+)
+
+// liveResult is the -json schema of a live-stack run. Field names are
+// stable — BENCH_PR3.json and CI trend checks parse them.
+type liveResult struct {
+	Method           string  `json:"method"`
+	N                int     `json:"n"`
+	Chunks           int64   `json:"chunks"`
+	Replicas         int     `json:"replicas"`
+	KilledCoord      bool    `json:"killed_coordinator"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	DeliveredPercent float64 `json:"delivered_percent"` // min over surviving viewers
+	LookupFailures   uint64  `json:"lookup_failures"`
+	Takeovers        uint64  `json:"takeovers"`
+	ReplicaOps       uint64  `json:"replica_ops_applied"`
+	DigestRepairs    uint64  `json:"digest_repairs"`
+	IndexInsertBytes uint64  `json:"index_insert_bytes"`
+	ReplicateBytes   uint64  `json:"replicate_bytes"`
+	DigestBytes      uint64  `json:"digest_bytes"`
+	// InsertAmplification = (insert + replicate bytes) / insert bytes: how
+	// many times each index byte is written ring-wide. Bounded by r+1 —
+	// each op goes to the owner once and to at most r replicas.
+	InsertAmplification float64 `json:"insert_amplification"`
+}
+
+// runLive executes the live-stack benchmark and exits the process.
+func runLive(n int, chunks int64, replicas int, kill bool, jsonOut string) {
+	cfg := live.DefaultNodeConfig()
+	cfg.Channel.Period = 30 * time.Millisecond
+	cfg.Channel.ChunkBits = 8 * 1024
+	cfg.Channel.Count = chunks
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 500 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	cfg.RepublishEvery = 500 * time.Millisecond
+	cfg.Replicas = replicas
+	cfg.ReplicateEvery = 25 * time.Millisecond
+	cfg.AntiEntropyEvery = 250 * time.Millisecond
+
+	f := transport.NewFabric()
+	attach := func(h transport.Handler) (transport.Transport, error) {
+		return f.Attach(h), nil
+	}
+	srcCfg := cfg
+	srcCfg.Source = true
+	src, err := live.NewNode(srcCfg, attach)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcosim: live: %v\n", err)
+		os.Exit(1)
+	}
+	var viewers []*live.Node
+	for i := 1; i < n; i++ {
+		nd, err := live.NewNode(cfg, attach)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: live: %v\n", err)
+			os.Exit(1)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: live: join: %v\n", err)
+			os.Exit(1)
+		}
+		viewers = append(viewers, nd)
+	}
+	start := time.Now()
+	src.Start()
+	for _, v := range viewers {
+		v.Start()
+	}
+	all := append([]*live.Node{src}, viewers...)
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	// Optionally kill one viewer (= one coordinator: every member owns a
+	// slice of the key space) once the stream is under way.
+	watching := viewers
+	var victim *live.Node
+	if kill && len(viewers) > 2 {
+		time.Sleep(time.Duration(chunks) * cfg.Channel.Period / 3)
+		victim = viewers[len(viewers)/2]
+		victim.Close()
+		watching = nil
+		for _, v := range viewers {
+			if v != victim {
+				watching = append(watching, v)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		done := true
+		for _, v := range watching {
+			if int64(v.ChunkCount()) < chunks {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "dcosim: live: stream did not complete within the deadline\n")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wall := time.Since(start)
+
+	res := liveResult{
+		Method:      "live",
+		N:           n,
+		Chunks:      chunks,
+		Replicas:    replicas,
+		KilledCoord: victim != nil,
+		WallSeconds: wall.Seconds(),
+	}
+	res.DeliveredPercent = 100
+	for _, v := range watching {
+		p := 100 * float64(v.ChunkCount()) / float64(chunks)
+		if p < res.DeliveredPercent {
+			res.DeliveredPercent = p
+		}
+	}
+	for _, nd := range all {
+		st := nd.Stats()
+		res.LookupFailures += st.LookupFailures
+		res.Takeovers += st.IndexTakeovers
+		res.ReplicaOps += st.ReplicaOpsApplied
+		res.DigestRepairs += st.DigestRepairs
+		res.IndexInsertBytes += st.IndexInsertBytes
+		res.ReplicateBytes += st.ReplicateBytes
+		res.DigestBytes += st.DigestBytes
+	}
+	if res.IndexInsertBytes > 0 {
+		res.InsertAmplification = float64(res.IndexInsertBytes+res.ReplicateBytes) / float64(res.IndexInsertBytes)
+	}
+
+	fmt.Printf("method=live n=%d chunks=%d replicas=%d killed=%v\n", n, chunks, replicas, res.KilledCoord)
+	fmt.Printf("wall time:               %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("delivered (min viewer):  %.2f%%\n", res.DeliveredPercent)
+	fmt.Printf("lookup failures:         %d\n", res.LookupFailures)
+	fmt.Printf("takeovers:               %d (replica ops applied: %d, digest repairs: %d)\n",
+		res.Takeovers, res.ReplicaOps, res.DigestRepairs)
+	fmt.Printf("index insert bytes:      %d\n", res.IndexInsertBytes)
+	fmt.Printf("replication bytes:       %d\n", res.ReplicateBytes)
+	fmt.Printf("digest bytes:            %d\n", res.DigestBytes)
+	fmt.Printf("insert amplification:    %.2fx (bound: %dx)\n", res.InsertAmplification, replicas+1)
+
+	if jsonOut != "" {
+		if err := writeJSONAny(jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.DeliveredPercent < 100 || (replicas > 0 && res.InsertAmplification >= float64(replicas+1)) {
+		os.Exit(1)
+	}
+}

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -40,8 +40,17 @@ func main() {
 		fingers   = flag.Bool("fingers", false, "DCO only: Chord finger routing")
 		showTrace = flag.Bool("trace", false, "DCO only: print a protocol-event summary")
 		jsonOut   = flag.String("json", "", "also write machine-readable results to this file ('-' = stdout)")
+		replicas  = flag.Int("replicas", 0, "live only: index replication factor (0 disables)")
+		kill      = flag.Bool("kill", false, "live only: kill one coordinator mid-stream")
 	)
 	flag.Parse()
+
+	if *method == "live" {
+		// The live method runs the real node stack, not the event kernel; it
+		// reports its own metrics and exits.
+		runLive(*n, *chunks, *replicas, *kill, *jsonOut)
+		return
+	}
 
 	k := sim.NewKernel(*seed)
 	var (
@@ -175,7 +184,9 @@ type simResult struct {
 	ReceivedPercent float64 `json:"received_percent"`
 }
 
-func writeJSON(path string, res simResult) error {
+func writeJSON(path string, res simResult) error { return writeJSONAny(path, res) }
+
+func writeJSONAny(path string, res any) error {
 	w := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

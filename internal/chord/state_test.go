@@ -276,3 +276,96 @@ func TestNextFingerToFixCycles(t *testing.T) {
 		t.Fatalf("cursor should wrap to 0, got %d", idx)
 	}
 }
+
+// stabilizeOnce runs one Chord stabilize round for s against the (shared,
+// in-memory) states map: check the successor's predecessor, adopt it if it
+// sits between, merge the successor list, then notify.
+func stabilizeOnce(s *State[int], states map[int]*State[int]) {
+	succ := s.Successor()
+	if succ.Addr == s.Self.Addr {
+		return
+	}
+	peer := states[succ.Addr]
+	if x := peer.Predecessor(); x.OK && x.Addr != s.Self.Addr && InOO(s.Self.ID, x.ID, succ.ID) {
+		s.SetSuccessor(x)
+		succ = x
+		peer = states[succ.Addr]
+	}
+	s.AdoptSuccessorList(succ, peer.SuccessorList())
+	peer.Notify(s.Self)
+}
+
+// TestConcurrentJoinsConvergeAndPartitionKeys: two nodes join between the
+// SAME pair of a converged two-node ring — the worst case for ownership
+// transfer, because each joiner initially believes the old owner is its
+// direct successor and neither knows about the other. Whatever order
+// stabilization interleaves in, the ring must converge to the sorted order
+// and key ownership must end exclusive and complete (every key owned by
+// exactly one node: the index-takeover invariant the live replication
+// layer leans on).
+func TestConcurrentJoinsConvergeAndPartitionKeys(t *testing.T) {
+	orders := map[string][]int{
+		"first-joiner-first": {3, 4, 1, 2},
+		"last-joiner-first":  {4, 3, 2, 1},
+	}
+	for name, order := range orders {
+		t.Run(name, func(t *testing.T) {
+			// Converged pair: A=10 (addr 1), B=100 (addr 2).
+			a := NewState(e(10, 1), 4)
+			b := NewState(e(100, 2), 4)
+			a.SetSuccessor(b.Self)
+			b.SetSuccessor(a.Self)
+			a.SetPredecessor(b.Self)
+			b.SetPredecessor(a.Self)
+
+			// C=40 (addr 3) and D=70 (addr 4) both join between A and B: a
+			// joiner's find_successor(self) resolves to B in both cases, and a
+			// joiner starts with no predecessor.
+			c := NewState(e(40, 3), 4)
+			d := NewState(e(70, 4), 4)
+			c.SetSuccessor(b.Self)
+			d.SetSuccessor(b.Self)
+
+			states := map[int]*State[int]{1: a, 2: b, 3: c, 4: d}
+			for round := 0; round < 8; round++ {
+				for _, addr := range order {
+					stabilizeOnce(states[addr], states)
+				}
+			}
+
+			// Sorted ring: A(10) -> C(40) -> D(70) -> B(100) -> A.
+			wantSucc := map[int]int{1: 3, 3: 4, 4: 2, 2: 1}
+			wantPred := map[int]int{3: 1, 4: 3, 2: 4, 1: 2}
+			for addr, s := range states {
+				if got := s.Successor().Addr; got != wantSucc[addr] {
+					t.Fatalf("node %d successor = %d, want %d", addr, got, wantSucc[addr])
+				}
+				if p := s.Predecessor(); !p.OK || p.Addr != wantPred[addr] {
+					t.Fatalf("node %d predecessor = %v, want %d", addr, p, wantPred[addr])
+				}
+			}
+
+			// Ownership is exclusive and complete over the whole circle,
+			// sampled densely around the member IDs and at the extremes.
+			keys := []ID{0, 5, 10, 11, 39, 40, 41, 69, 70, 71, 99, 100, 101, 1 << 40, ^ID(0)}
+			for _, k := range keys {
+				owners := 0
+				for _, s := range states {
+					if s.OwnsKey(k) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Errorf("key %d owned by %d nodes, want exactly 1", k, owners)
+				}
+			}
+
+			// Successor lists absorbed the joiners: B's list must route around
+			// the full ring, so a takeover walk from any node finds live heirs.
+			list := a.SuccessorList()
+			if len(list) < 3 || list[0].Addr != 3 || list[1].Addr != 4 || list[2].Addr != 2 {
+				t.Fatalf("A's successor list %v did not absorb both joiners", list)
+			}
+		})
+	}
+}

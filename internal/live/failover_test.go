@@ -155,7 +155,7 @@ func TestLookupRecoversAfterCoordinatorDeath(t *testing.T) {
 	for _, nd := range all {
 		nd.mu.Lock()
 		e := nd.indexEntryLocked(seq)
-		e.providers = append(e.providers, provider)
+		e.providers = append(e.providers, provRec{ent: provider})
 		nd.mu.Unlock()
 	}
 

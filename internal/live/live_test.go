@@ -226,7 +226,7 @@ func TestGracefulLeaveHandsOffIndex(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	a.mu.Lock()
 	e := a.indexEntryLocked(999)
-	e.providers = append(e.providers, a.wireSelfLocked())
+	e.providers = append(e.providers, provRec{ent: a.wireSelfLocked()})
 	a.mu.Unlock()
 
 	if err := a.Leave(); err != nil {

@@ -41,6 +41,22 @@ type liveMetrics struct {
 	fingerFixes    *telemetry.Counter
 	handoffEntries *telemetry.Counter
 
+	// Replication layer (replication.go): batch/op volume out, ops folded
+	// in, takeover promotions, anti-entropy repair volume, lease expiry,
+	// and the byte meters the write-amplification benchmark reads.
+	replicateOps      *telemetry.Counter
+	replicateBatches  *telemetry.Counter
+	replicaOpsApplied *telemetry.Counter
+	takeovers         *telemetry.Counter
+	takeoverEntries   *telemetry.Counter
+	digestRounds      *telemetry.Counter
+	digestRepairOps   *telemetry.Counter
+	indexExpired      *telemetry.Counter
+	lookupFailures    *telemetry.Counter
+	indexInsertBytes  *telemetry.Counter
+	replicateBytes    *telemetry.Counter
+	digestBytes       *telemetry.Counter
+
 	// chunkFetchSeconds is the per-chunk acquisition latency — from the
 	// moment a viewer starts working on a chunk until it is buffered,
 	// lookup wait and provider failovers included. This is the live
@@ -48,6 +64,10 @@ type liveMetrics struct {
 	// distribution instead of the simulator's whole-network mean.
 	chunkFetchSeconds *telemetry.Histogram
 	lookupSeconds     *telemetry.Histogram
+
+	// replicationLag is the queue-to-flush delay of replicated index ops:
+	// how stale a replica can be when its owner dies (the takeover window).
+	replicationLag *telemetry.Histogram
 }
 
 // newLiveMetrics registers the node's metric set on reg (creating a
@@ -81,8 +101,22 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		fingerFixes:    reg.Counter("dco_live_finger_fixes_total"),
 		handoffEntries: reg.Counter("dco_live_handoff_entries_total"),
 
+		replicateOps:      reg.Counter("dco_live_replicate_ops_total"),
+		replicateBatches:  reg.Counter("dco_live_replicate_batches_total"),
+		replicaOpsApplied: reg.Counter("dco_live_replica_ops_applied_total"),
+		takeovers:         reg.Counter("dco_live_takeovers_total"),
+		takeoverEntries:   reg.Counter("dco_live_takeover_entries_total"),
+		digestRounds:      reg.Counter("dco_live_digest_rounds_total"),
+		digestRepairOps:   reg.Counter("dco_live_digest_repair_ops_total"),
+		indexExpired:      reg.Counter("dco_live_index_expired_total"),
+		lookupFailures:    reg.Counter("dco_live_lookup_failures_total"),
+		indexInsertBytes:  reg.Counter("dco_live_index_insert_bytes_total"),
+		replicateBytes:    reg.Counter("dco_live_replicate_bytes_total"),
+		digestBytes:       reg.Counter("dco_live_digest_bytes_total"),
+
 		chunkFetchSeconds: reg.Histogram("dco_live_chunk_fetch_seconds", telemetry.DefLatencyBuckets),
 		lookupSeconds:     reg.Histogram("dco_live_lookup_seconds", telemetry.DefLatencyBuckets),
+		replicationLag:    reg.Histogram("dco_live_replication_lag_seconds", telemetry.DefLatencyBuckets),
 	}
 }
 
@@ -131,6 +165,14 @@ func (n *Node) registerGauges() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return float64(len(n.blacklist))
+	})
+	reg.GaugeFunc("dco_live_replica_owners", func() float64 {
+		owners, _ := n.ReplicaCounts()
+		return float64(owners)
+	})
+	reg.GaugeFunc("dco_live_replica_entries", func() float64 {
+		_, entries := n.ReplicaCounts()
+		return float64(entries)
 	})
 	reg.GaugeFunc("dco_ring_successor_changes", func() float64 {
 		n.mu.Lock()

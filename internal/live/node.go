@@ -56,6 +56,33 @@ type Config struct {
 	RepublishEvery time.Duration
 	RepublishBatch int
 
+	// Replicas is the index replication factor r: every Insert/Unregister
+	// a coordinator accepts is asynchronously batch-replicated to its
+	// first r live successors, a successor that detects its predecessor's
+	// death promotes the replicated entries to owned state immediately
+	// (takeover), and a periodic anti-entropy round reconciles divergence.
+	// 0 disables replication entirely (republication alone restores
+	// availability, at the cost of the full republish-window outage).
+	Replicas int
+
+	// ReplicateEvery is the flush cadence of the replication queue:
+	// accepted index ops buffer for at most this long before they are
+	// batched out to the replica set. It bounds the takeover staleness.
+	ReplicateEvery time.Duration
+
+	// AntiEntropyEvery is the digest-exchange cadence: how often a
+	// coordinator summarizes its owned index to its replicas so that
+	// missed batches, partitions, and ownership moves get repaired.
+	AntiEntropyEvery time.Duration
+
+	// IndexTTL is the lease on a provider registration. Republication
+	// refreshes it; a provider that dies without unregistering ages out
+	// of lookup answers once the lease lapses. It must comfortably exceed
+	// the republish rotation period (RepublishEvery × registered chunks /
+	// RepublishBatch) or live providers expire between refreshes. Zero
+	// disables leases (registrations live until unregistered).
+	IndexTTL time.Duration
+
 	// ActiveWindow bounds how many chunks a node retains (and advertises);
 	// older chunks are dropped and unregistered as the stream moves on —
 	// the paper's sliding active-chunk window (§III-A1). Zero keeps
@@ -114,6 +141,10 @@ func DefaultNodeConfig() Config {
 		UpBps:              10_000_000,
 		RepublishEvery:     time.Second,
 		RepublishBatch:     4,
+		Replicas:           2,
+		ReplicateEvery:     150 * time.Millisecond,
+		AntiEntropyEvery:   3 * time.Second,
+		IndexTTL:           45 * time.Second,
 		Retry:              retry.DefaultPolicy(),
 		Breaker:            retry.DefaultBreakerConfig(),
 		ProviderCooldown:   2 * time.Second,
@@ -140,6 +171,13 @@ type Node struct {
 	retrier         *retry.Retrier
 	blacklist       map[string]time.Time // failing providers, cooling down
 
+	// Replication state (replication.go): ops accepted but not yet
+	// flushed to the replica set, and the slices of other owners' indices
+	// replicated here, keyed by owner address.
+	replPending []wire.ReplicaOp
+	replSince   time.Time // enqueue time of the oldest pending op
+	replicas    map[string]*replicaSet
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -164,12 +202,86 @@ type Stats struct {
 	BreakerOpens         uint64 // circuit transitions to open
 	LookupFailovers      uint64 // lookups answered past a dead coordinator
 	ProvidersBlacklisted uint64 // providers put on fetch cooldown
+	// Replication-layer counters.
+	ReplicaOpsApplied uint64 // replicated index ops folded in from owners
+	IndexTakeovers    uint64 // dead-owner replica slices promoted to owned state
+	DigestRepairs     uint64 // index ops re-sent after a digest mismatch
+	ProvidersExpired  uint64 // provider leases aged out of the owned index
+	LookupFailures    uint64 // lookups that exhausted every candidate coordinator
+	// Byte meters for the write-amplification benchmark (dcosim -method live):
+	// frame bytes of Insert traffic into the index, of replication batches
+	// out, and of anti-entropy digests + repairs out.
+	IndexInsertBytes uint64
+	ReplicateBytes   uint64
+	DigestBytes      uint64
+}
+
+// provRec is one provider registration in an index entry: the provider's
+// identity plus its advertised upload bandwidth and lease deadline (zero
+// deadline = no lease, the registration lives until unregistered).
+type provRec struct {
+	ent    wire.Entry
+	upBps  int64
+	expire time.Time
 }
 
 type indexEntry struct {
-	providers []wire.Entry
+	providers []provRec
 	rr        int
 	wake      chan struct{} // closed and replaced whenever a provider registers
+}
+
+// wakeLocked releases pending lookups waiting on this entry. Caller holds
+// the node's mutex.
+func (e *indexEntry) wakeLocked() {
+	close(e.wake)
+	e.wake = make(chan struct{})
+}
+
+// pruneLocked drops providers whose lease lapsed, returning how many.
+// Caller holds the node's mutex.
+func (e *indexEntry) pruneLocked(now time.Time) int {
+	var dropped int
+	e.providers, dropped = pruneRecs(e.providers, now)
+	if dropped > 0 && len(e.providers) > 0 {
+		e.rr %= len(e.providers)
+	}
+	return dropped
+}
+
+// pruneRecs filters expired leases out of a provider set in place.
+func pruneRecs(recs []provRec, now time.Time) ([]provRec, int) {
+	kept := recs[:0]
+	dropped := 0
+	for _, p := range recs {
+		if !p.expire.IsZero() && now.After(p.expire) {
+			dropped++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, dropped
+}
+
+// ttlMillis converts a lease deadline to the wire's relative TTL: the
+// remaining milliseconds at send time (0 = no lease). Receivers restamp
+// against their own clock, so absolute times never cross the wire.
+func ttlMillis(expire, now time.Time) uint32 {
+	if expire.IsZero() {
+		return 0
+	}
+	d := expire.Sub(now)
+	if d <= 0 {
+		return 1 // expired in flight: minimal lease, ages out immediately
+	}
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	return uint32(ms)
 }
 
 // errNotOwner is returned (over the wire as wire.Error) when an index op
@@ -194,6 +306,7 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		chunks:     make(map[int64][]byte),
 		registered: make(map[int64]bool),
 		index:      make(map[int64]*indexEntry),
+		replicas:   make(map[string]*replicaSet),
 		serveSem:   make(chan struct{}, cfg.MaxServeConcurrent),
 		blacklist:  make(map[string]time.Time),
 		closed:     make(chan struct{}),
@@ -242,6 +355,14 @@ func (n *Node) Stats() Stats {
 		BreakerOpens:         n.retrier.Breaker().Opens(),
 		LookupFailovers:      n.lm.lookupFailovers.Value(),
 		ProvidersBlacklisted: n.lm.providersBlacklisted.Value(),
+		ReplicaOpsApplied:    n.lm.replicaOpsApplied.Value(),
+		IndexTakeovers:       n.lm.takeovers.Value(),
+		DigestRepairs:        n.lm.digestRepairOps.Value(),
+		ProvidersExpired:     n.lm.indexExpired.Value(),
+		LookupFailures:       n.lm.lookupFailures.Value(),
+		IndexInsertBytes:     n.lm.indexInsertBytes.Value(),
+		ReplicateBytes:       n.lm.replicateBytes.Value(),
+		DigestBytes:          n.lm.digestBytes.Value(),
 	}
 }
 
@@ -274,6 +395,10 @@ func (n *Node) Start() {
 	n.loop(n.cfg.StabilizeEvery, n.stabilize)
 	n.loop(n.cfg.FixFingersEvery, n.fixFinger)
 	n.loop(n.cfg.RepublishEvery, n.republish)
+	if n.cfg.Replicas > 0 {
+		n.loop(n.cfg.ReplicateEvery, n.replicateFlush)
+		n.loop(n.cfg.AntiEntropyEvery, n.antiEntropy)
+	}
 	if n.cfg.Source {
 		n.wg.Add(1)
 		go n.generateLoop()
@@ -384,19 +509,27 @@ func (n *Node) joinVia(bootstrap string) error {
 	return nil
 }
 
-// Leave departs gracefully: index handoff to the successor, ring unlink,
+// Leave departs gracefully: index handoff to the successor (replicated
+// past it, so the handoff survives the successor dying too), ring unlink,
 // then shutdown.
 func (n *Node) Leave() error {
 	n.mu.Lock()
 	succ := n.cs.Successor()
 	pred := n.cs.Predecessor()
+	now := time.Now()
 	var entries []wire.HandoffEntry
+	var ops []wire.ReplicaOp
 	for seq, e := range n.index {
-		entries = append(entries, wire.HandoffEntry{
-			Key:       uint64(n.cfg.Channel.Ref(seq).ID()),
-			Seq:       seq,
-			Providers: append([]wire.Entry(nil), e.providers...),
-		})
+		key := uint64(n.cfg.Channel.Ref(seq).ID())
+		he := wire.HandoffEntry{Key: key, Seq: seq}
+		for _, p := range e.providers {
+			he.Providers = append(he.Providers, p.ent)
+			ops = append(ops, wire.ReplicaOp{
+				Key: key, Seq: seq, Holder: p.ent, UpBps: p.upBps,
+				TTLMillis: ttlMillis(p.expire, now),
+			})
+		}
+		entries = append(entries, he)
 		delete(n.index, seq)
 	}
 	self := n.wireSelfLocked()
@@ -409,6 +542,29 @@ func (n *Node) Leave() error {
 	if succ.OK && succ.Addr != n.Addr() {
 		if len(entries) > 0 {
 			_, _ = n.callIdem(succ.Addr, &wire.Handoff{Entries: entries})
+		}
+		// Replicate the handed-off range past the new owner on its behalf:
+		// if the sole handoff successor dies before republication kicks in,
+		// its replicas still hold the entries and promote them (the PR 3
+		// regression test pins exactly this failure).
+		if n.cfg.Replicas > 0 && len(ops) > 0 {
+			batch := &wire.ReplicateBatch{
+				Owner: wire.Entry{ID: uint64(succ.ID), Addr: succ.Addr},
+				Full:  true,
+				Ops:   ops,
+			}
+			sent := 0
+			for _, s := range succList {
+				if s.Addr == n.Addr() || s.Addr == succ.Addr {
+					continue
+				}
+				if _, err := n.callIdem(s.Addr, batch); err == nil {
+					sent++
+				}
+				if sent == n.cfg.Replicas {
+					break
+				}
+			}
 		}
 		leave := &wire.Leave{From: self}
 		if pred.OK {
@@ -504,15 +660,26 @@ func (n *Node) peerCondemned(addr string, err error) bool {
 
 // noteCallFailure purges addr from the routing tables once the failure
 // evidence is conclusive; stabilization re-adds the peer if it was only
-// a hiccup after all.
+// a hiccup after all. A condemned predecessor triggers index takeover:
+// this node is its first live successor and inherits its key range, so
+// the replicated entries are promoted to owned state on the spot.
 func (n *Node) noteCallFailure(addr string, err error) {
 	if !n.peerCondemned(addr, err) {
 		return
 	}
 	n.mu.Lock()
+	pred := n.cs.Predecessor()
+	wasPred := pred.OK && pred.Addr == addr
 	n.cs.RemoveFailed(addr)
+	promoted := 0
+	if wasPred {
+		promoted = n.promoteReplicasLocked(addr)
+	}
 	n.mu.Unlock()
 	n.traceEvent("ring.purge", "peer="+addr)
+	if promoted > 0 {
+		n.traceEvent("replica.takeover", fmt.Sprintf("owner=%s entries=%d", addr, promoted))
+	}
 }
 
 // ---------------------------------------------------------------------------

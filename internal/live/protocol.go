@@ -31,6 +31,10 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 		return n.onHandoff(m)
 	case *wire.Leave:
 		return n.onLeave(m)
+	case *wire.ReplicateBatch:
+		return n.onReplicateBatch(m)
+	case *wire.DigestReq:
+		return n.onDigestReq(m)
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request"}
 	}
@@ -82,11 +86,11 @@ func (n *Node) onNotify(m *wire.Notify) wire.Message {
 		for seq, e := range n.index {
 			key := n.cfg.Channel.Ref(seq).ID()
 			if !n.cs.OwnsKey(key) {
-				moved = append(moved, wire.HandoffEntry{
-					Key:       uint64(key),
-					Seq:       seq,
-					Providers: append([]wire.Entry(nil), e.providers...),
-				})
+				he := wire.HandoffEntry{Key: uint64(key), Seq: seq}
+				for _, p := range e.providers {
+					he.Providers = append(he.Providers, p.ent)
+				}
+				moved = append(moved, he)
 				delete(n.index, seq)
 			}
 		}
@@ -112,10 +116,19 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 		}
 		n.lm.lookupsServed.Inc()
 		e := n.indexEntryLocked(m.Seq)
+		if dropped := e.pruneLocked(time.Now()); dropped > 0 {
+			n.lm.indexExpired.Add(uint64(dropped))
+		}
+		if len(e.providers) == 0 {
+			// The owned entry is empty but a replica slice may hold it —
+			// e.g. both the old owner and its first successor died before
+			// any takeover or anti-entropy round reached this node.
+			n.promoteReplicaSeqLocked(m.Key, m.Seq, e)
+		}
 		if len(e.providers) > 0 {
 			resp := &wire.LookupResp{Seq: m.Seq}
 			for i := 0; i < len(e.providers) && i < 3; i++ {
-				resp.Providers = append(resp.Providers, e.providers[(e.rr+i)%len(e.providers)])
+				resp.Providers = append(resp.Providers, e.providers[(e.rr+i)%len(e.providers)].ent)
 			}
 			e.rr = (e.rr + 1) % len(e.providers)
 			n.mu.Unlock()
@@ -156,21 +169,31 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	e := n.indexEntryLocked(m.Seq)
 	if m.Unregister {
 		for i, pr := range e.providers {
-			if pr.Addr == m.Holder.Addr {
+			if pr.ent.Addr == m.Holder.Addr {
 				e.providers = append(e.providers[:i], e.providers[i+1:]...)
+				n.enqueueReplicaLocked(m.Key, m.Seq, m.Holder, 0, time.Time{}, true)
 				break
 			}
 		}
 		return &wire.Ack{}
 	}
-	for _, pr := range e.providers {
-		if pr.Addr == m.Holder.Addr {
+	var expire time.Time
+	if n.cfg.IndexTTL > 0 {
+		expire = time.Now().Add(n.cfg.IndexTTL)
+	}
+	for i := range e.providers {
+		if e.providers[i].ent.Addr == m.Holder.Addr {
+			// Re-insert of a known provider: republication is the lease
+			// heartbeat, so refresh rather than duplicate.
+			e.providers[i].expire = expire
+			e.providers[i].upBps = m.UpBps
+			n.enqueueReplicaLocked(m.Key, m.Seq, m.Holder, m.UpBps, expire, false)
 			return &wire.Ack{}
 		}
 	}
-	e.providers = append(e.providers, m.Holder)
-	close(e.wake) // release pending lookups
-	e.wake = make(chan struct{})
+	e.providers = append(e.providers, provRec{ent: m.Holder, upBps: m.UpBps, expire: expire})
+	e.wakeLocked() // release pending lookups
+	n.enqueueReplicaLocked(m.Key, m.Seq, m.Holder, m.UpBps, expire, false)
 	return &wire.Ack{}
 }
 
@@ -199,20 +222,28 @@ func (n *Node) onHandoff(m *wire.Handoff) wire.Message {
 	n.traceEvent("handoff.recv", fmt.Sprintf("entries=%d", len(m.Entries)))
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var expire time.Time
+	if n.cfg.IndexTTL > 0 {
+		// Handoffs carry no leases; restamp so inherited entries age out
+		// unless their providers keep republishing.
+		expire = time.Now().Add(n.cfg.IndexTTL)
+	}
 	for _, he := range m.Entries {
 		e := n.indexEntryLocked(he.Seq)
+		added := 0
 	outer:
 		for _, pr := range he.Providers {
 			for _, have := range e.providers {
-				if have.Addr == pr.Addr {
+				if have.ent.Addr == pr.Addr {
 					continue outer
 				}
 			}
-			e.providers = append(e.providers, pr)
+			e.providers = append(e.providers, provRec{ent: pr, expire: expire})
+			n.enqueueReplicaLocked(he.Key, he.Seq, pr, 0, expire, false)
+			added++
 		}
-		if len(e.providers) > 0 {
-			close(e.wake)
-			e.wake = make(chan struct{})
+		if added > 0 && len(e.providers) > 0 {
+			e.wakeLocked()
 		}
 	}
 	return &wire.Ack{}
@@ -221,6 +252,10 @@ func (n *Node) onHandoff(m *wire.Handoff) wire.Message {
 func (n *Node) onLeave(m *wire.Leave) wire.Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// A graceful leaver handed its index to its successor; whatever slice
+	// of it was replicated here is now stale (the new owner replicates its
+	// own copy), so drop it rather than promote it later.
+	delete(n.replicas, m.From.Addr)
 	if m.NewSucc != nil {
 		n.cs.RemoveFailed(m.From.Addr)
 		var list []entryT
@@ -312,13 +347,22 @@ func (n *Node) checkPredecessor() {
 	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil && n.peerCondemned(pred.Addr, err) {
 		n.mu.Lock()
 		cleared := false
+		promoted := 0
 		if cur := n.cs.Predecessor(); cur.OK && cur.Addr == pred.Addr {
 			n.cs.ClearPredecessor()
 			cleared = true
+			// The dead predecessor's key range falls to this node: promote
+			// its replicated index entries before lookups arrive. (call's
+			// own failure handling usually got here first; this covers the
+			// paths where it did not.)
+			promoted = n.promoteReplicasLocked(pred.Addr)
 		}
 		n.mu.Unlock()
 		if cleared {
 			n.traceEvent("ring.pred_cleared", "peer="+pred.Addr)
+		}
+		if promoted > 0 {
+			n.traceEvent("replica.takeover", fmt.Sprintf("owner=%s entries=%d", pred.Addr, promoted))
 		}
 	}
 }

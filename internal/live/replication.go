@@ -1,0 +1,527 @@
+package live
+
+// r-way index replication (see DESIGN.md, "Replication & repair").
+//
+// Every Insert/Unregister a coordinator accepts is queued and flushed as a
+// ReplicateBatch to the coordinator's first r live successors. A successor
+// that detects its predecessor's death promotes the dead owner's replica
+// slice into its own index (takeover), so lookups keep being answered from
+// the replica instead of stalling for the republish window. A periodic
+// anti-entropy round exchanges per-range digests to reconcile whatever
+// replication missed: dropped batches, partitions, and ownership moved by
+// concurrent joins.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/wire"
+)
+
+const (
+	// maxReplPending bounds the replication queue; when every target stays
+	// unreachable the oldest ops are dropped (anti-entropy re-sends them).
+	maxReplPending = 1 << 16
+	// maxBatchOps caps one ReplicateBatch frame well under wire.MaxFrame.
+	maxBatchOps = 2048
+)
+
+// replicaEntry is one replicated index entry: the chunk key plus the
+// owner's provider set as of the last batch or digest that mentioned it.
+type replicaEntry struct {
+	key       uint64
+	providers []provRec
+}
+
+// replicaSet is the slice of one owner's index replicated at this node.
+type replicaSet struct {
+	owner   wire.Entry
+	entries map[int64]*replicaEntry
+}
+
+func (n *Node) replicaSetLocked(owner wire.Entry) *replicaSet {
+	rs := n.replicas[owner.Addr]
+	if rs == nil {
+		rs = &replicaSet{entries: make(map[int64]*replicaEntry)}
+		n.replicas[owner.Addr] = rs
+	}
+	rs.owner = owner
+	return rs
+}
+
+// ReplicaCounts reports how many owners this node replicates for and the
+// total replica entries held (tests, gauges).
+func (n *Node) ReplicaCounts() (owners, entries int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, rs := range n.replicas {
+		owners++
+		entries += len(rs.entries)
+	}
+	return owners, entries
+}
+
+// enqueueReplicaLocked queues one accepted index op for the next flush.
+// Caller holds n.mu.
+func (n *Node) enqueueReplicaLocked(key uint64, seq int64, holder wire.Entry, upBps int64, expire time.Time, unregister bool) {
+	if n.cfg.Replicas <= 0 {
+		return
+	}
+	if len(n.replPending) == 0 {
+		n.replSince = time.Now()
+	}
+	if len(n.replPending) >= maxReplPending {
+		n.replPending = n.replPending[1:]
+	}
+	n.replPending = append(n.replPending, wire.ReplicaOp{
+		Key: key, Seq: seq, Holder: holder, UpBps: upBps,
+		TTLMillis: ttlMillis(expire, time.Now()), Unregister: unregister,
+	})
+}
+
+// replTargetsLocked returns the first Replicas distinct live successors
+// (the replica set). Caller holds n.mu.
+func (n *Node) replTargetsLocked() []wire.Entry {
+	r := n.cfg.Replicas
+	if r <= 0 {
+		return nil
+	}
+	var out []wire.Entry
+	for _, s := range n.cs.SuccessorList() {
+		if !s.OK || s.Addr == n.cs.Self.Addr {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o.Addr == s.Addr {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, wire.Entry{ID: uint64(s.ID), Addr: s.Addr})
+		if len(out) == r {
+			break
+		}
+	}
+	return out
+}
+
+// replicateFlush drains the pending-op queue into ReplicateBatch frames
+// for every replica target. A target that misses a batch is repaired by
+// the next anti-entropy round, so per-target failures are not retried
+// beyond what callIdem already does.
+func (n *Node) replicateFlush() {
+	n.mu.Lock()
+	if len(n.replPending) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	ops := n.replPending
+	n.replPending = nil
+	since := n.replSince
+	targets := n.replTargetsLocked()
+	self := n.wireSelfLocked()
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return // ring of one: nobody to replicate to yet
+	}
+	for start := 0; start < len(ops); start += maxBatchOps {
+		end := start + maxBatchOps
+		if end > len(ops) {
+			end = len(ops)
+		}
+		batch := &wire.ReplicateBatch{Owner: self, Ops: ops[start:end]}
+		size := frameBytes(batch)
+		for _, t := range targets {
+			if _, err := n.callIdem(t.Addr, batch); err != nil {
+				continue
+			}
+			n.lm.replicateBatches.Inc()
+			n.lm.replicateOps.Add(uint64(len(batch.Ops)))
+			n.lm.replicateBytes.Add(size)
+		}
+	}
+	n.lm.replicationLag.Observe(time.Since(since).Seconds())
+}
+
+// onReplicateBatch stores an owner's index ops in that owner's replica
+// slice — unless this node meanwhile owns the key outright (the batch is
+// the tail of a takeover, a graceful leave, or the sender's stale view),
+// in which case the op folds straight into the owned index.
+func (n *Node) onReplicateBatch(m *wire.ReplicateBatch) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Owner.Addr == n.cs.Self.Addr {
+		return &wire.Ack{}
+	}
+	now := time.Now()
+	pred := n.cs.Predecessor()
+	var rs *replicaSet
+	var reset map[int64]bool
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		// Ownership requires a known predecessor: a freshly joined node
+		// with no predecessor would otherwise claim every key it sees.
+		if pred.OK && n.cs.OwnsKey(chord.ID(op.Key)) {
+			n.applyOwnedOpLocked(op, now)
+			continue
+		}
+		if rs == nil {
+			rs = n.replicaSetLocked(m.Owner)
+		}
+		if m.Full {
+			if reset == nil {
+				reset = make(map[int64]bool)
+			}
+			// Full batches carry the complete record for every seq they
+			// mention: replace the replica's set, don't merge into it.
+			if !reset[op.Seq] {
+				reset[op.Seq] = true
+				delete(rs.entries, op.Seq)
+			}
+		}
+		applyReplicaOp(rs, op, now)
+	}
+	n.lm.replicaOpsApplied.Add(uint64(len(m.Ops)))
+	return &wire.Ack{}
+}
+
+// applyOwnedOpLocked folds a replicated op into the owned index (lookups
+// see it immediately) and re-replicates it to this node's own successors.
+// Caller holds n.mu.
+func (n *Node) applyOwnedOpLocked(op *wire.ReplicaOp, now time.Time) {
+	e := n.indexEntryLocked(op.Seq)
+	if op.Unregister {
+		for i := range e.providers {
+			if e.providers[i].ent.Addr == op.Holder.Addr {
+				e.providers = append(e.providers[:i], e.providers[i+1:]...)
+				break
+			}
+		}
+		n.enqueueReplicaLocked(op.Key, op.Seq, op.Holder, 0, time.Time{}, true)
+		return
+	}
+	expire := restamp(op.TTLMillis, now)
+	n.mergeProvidersLocked(e, []provRec{{ent: op.Holder, upBps: op.UpBps, expire: expire}}, now)
+	n.enqueueReplicaLocked(op.Key, op.Seq, op.Holder, op.UpBps, expire, false)
+}
+
+// applyReplicaOp upserts one op into a replica slice.
+func applyReplicaOp(rs *replicaSet, op *wire.ReplicaOp, now time.Time) {
+	re := rs.entries[op.Seq]
+	if op.Unregister {
+		if re == nil {
+			return
+		}
+		for i := range re.providers {
+			if re.providers[i].ent.Addr == op.Holder.Addr {
+				re.providers = append(re.providers[:i], re.providers[i+1:]...)
+				break
+			}
+		}
+		if len(re.providers) == 0 {
+			delete(rs.entries, op.Seq)
+		}
+		return
+	}
+	if re == nil {
+		re = &replicaEntry{key: op.Key}
+		rs.entries[op.Seq] = re
+	}
+	re.key = op.Key
+	expire := restamp(op.TTLMillis, now)
+	for i := range re.providers {
+		if re.providers[i].ent.Addr == op.Holder.Addr {
+			re.providers[i].expire = expire
+			re.providers[i].upBps = op.UpBps
+			return
+		}
+	}
+	re.providers = append(re.providers, provRec{ent: op.Holder, upBps: op.UpBps, expire: expire})
+}
+
+// restamp converts a wire-relative TTL back to a local lease deadline.
+func restamp(ttlMs uint32, now time.Time) time.Time {
+	if ttlMs == 0 {
+		return time.Time{}
+	}
+	return now.Add(time.Duration(ttlMs) * time.Millisecond)
+}
+
+// mergeProvidersLocked upserts providers into an owned index entry,
+// waking pending lookups when anyone new appears, and returns how many
+// were added. Lease refreshes keep the longer deadline (zero = forever
+// wins). Caller holds n.mu.
+func (n *Node) mergeProvidersLocked(e *indexEntry, provs []provRec, now time.Time) int {
+	added := 0
+	for _, p := range provs {
+		if !p.expire.IsZero() && now.After(p.expire) {
+			continue
+		}
+		found := false
+		for i := range e.providers {
+			if e.providers[i].ent.Addr != p.ent.Addr {
+				continue
+			}
+			found = true
+			ex := &e.providers[i]
+			if p.expire.IsZero() {
+				ex.expire = time.Time{}
+			} else if !ex.expire.IsZero() && p.expire.After(ex.expire) {
+				ex.expire = p.expire
+			}
+			if p.upBps != 0 {
+				ex.upBps = p.upBps
+			}
+			break
+		}
+		if !found {
+			e.providers = append(e.providers, p)
+			added++
+		}
+	}
+	if added > 0 {
+		e.wakeLocked()
+	}
+	return added
+}
+
+// promoteReplicasLocked is the takeover step: the dead owner's replica
+// slice folds into this node's own index for every key it now owns, and
+// the promoted entries are re-replicated onward. Entries outside this
+// node's range stay in the slice (a farther successor owns them) until
+// their leases lapse. Caller holds n.mu; returns entries promoted.
+func (n *Node) promoteReplicasLocked(deadAddr string) int {
+	rs := n.replicas[deadAddr]
+	if rs == nil {
+		return 0
+	}
+	now := time.Now()
+	promoted := 0
+	for seq, re := range rs.entries {
+		if !n.cs.OwnsKey(chord.ID(re.key)) {
+			continue
+		}
+		delete(rs.entries, seq)
+		e := n.indexEntryLocked(seq)
+		if n.mergeProvidersLocked(e, re.providers, now) == 0 {
+			continue
+		}
+		promoted++
+		for _, p := range e.providers {
+			n.enqueueReplicaLocked(re.key, seq, p.ent, p.upBps, p.expire, false)
+		}
+	}
+	if len(rs.entries) == 0 {
+		delete(n.replicas, deadAddr)
+	}
+	if promoted > 0 {
+		n.lm.takeovers.Inc()
+		n.lm.takeoverEntries.Add(uint64(promoted))
+	}
+	return promoted
+}
+
+// promoteReplicaSeqLocked is the lookup-path fallback: this node owns the
+// key, its owned entry is empty, but a replica slice may hold it — e.g.
+// both the old owner and its first successor died before any takeover or
+// anti-entropy round reached us. Caller holds n.mu.
+func (n *Node) promoteReplicaSeqLocked(key uint64, seq int64, e *indexEntry) {
+	now := time.Now()
+	merged := 0
+	for addr, rs := range n.replicas {
+		re := rs.entries[seq]
+		if re == nil || re.key != key {
+			continue
+		}
+		merged += n.mergeProvidersLocked(e, re.providers, now)
+		delete(rs.entries, seq)
+		if len(rs.entries) == 0 {
+			delete(n.replicas, addr)
+		}
+	}
+	if merged > 0 {
+		n.lm.takeoverEntries.Add(uint64(merged))
+		for _, p := range e.providers {
+			n.enqueueReplicaLocked(key, seq, p.ent, p.upBps, p.expire, false)
+		}
+	}
+}
+
+// antiEntropy is the owner-side repair round: prune lapsed leases, digest
+// the owned index, and send the digest to every replica target. Replicas
+// answer with the seqs whose provider set is missing or diverged; those
+// are re-sent as a Full batch. The digest is sent even when the index is
+// empty so replicas drop entries the owner no longer holds.
+func (n *Node) antiEntropy() {
+	now := time.Now()
+	n.mu.Lock()
+	expired := 0
+	var digests []wire.SeqDigest
+	for seq, e := range n.index {
+		expired += e.pruneLocked(now)
+		if len(e.providers) == 0 {
+			continue
+		}
+		key := uint64(n.cfg.Channel.Ref(seq).ID())
+		if !n.cs.OwnsKey(chord.ID(key)) {
+			continue
+		}
+		digests = append(digests, wire.SeqDigest{Key: key, Seq: seq, Hash: providerHash(e.providers)})
+	}
+	// Replica-side housekeeping rides along: leases age out of replica
+	// slices here too, and empty slices (owner long gone, entries all
+	// expired) are garbage-collected.
+	for addr, rs := range n.replicas {
+		for seq, re := range rs.entries {
+			re.providers, _ = pruneRecs(re.providers, now)
+			if len(re.providers) == 0 {
+				delete(rs.entries, seq)
+			}
+		}
+		if len(rs.entries) == 0 {
+			delete(n.replicas, addr)
+		}
+	}
+	targets := n.replTargetsLocked()
+	self := n.wireSelfLocked()
+	n.mu.Unlock()
+	if expired > 0 {
+		n.lm.indexExpired.Add(uint64(expired))
+	}
+	if len(targets) == 0 {
+		return
+	}
+	sort.Slice(digests, func(i, j int) bool { return digests[i].Seq < digests[j].Seq })
+	req := &wire.DigestReq{Owner: self, Digests: digests}
+	reqSize := frameBytes(req)
+	n.lm.digestRounds.Inc()
+	for _, t := range targets {
+		resp, err := n.callIdem(t.Addr, req)
+		if err != nil {
+			continue
+		}
+		n.lm.digestBytes.Add(reqSize)
+		dr, ok := resp.(*wire.DigestResp)
+		if !ok || len(dr.Need) == 0 {
+			continue
+		}
+		repair := n.buildRepairBatch(self, dr.Need)
+		if repair == nil {
+			continue
+		}
+		if _, err := n.callIdem(t.Addr, repair); err == nil {
+			n.lm.digestRepairOps.Add(uint64(len(repair.Ops)))
+			n.lm.replicateBytes.Add(frameBytes(repair))
+			n.traceEvent("replica.repair", fmt.Sprintf("peer=%s ops=%d", t.Addr, len(repair.Ops)))
+		}
+	}
+}
+
+// buildRepairBatch assembles a Full batch for the seqs a replica reported
+// missing or divergent.
+func (n *Node) buildRepairBatch(self wire.Entry, need []int64) *wire.ReplicateBatch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	batch := &wire.ReplicateBatch{Owner: self, Full: true}
+	for _, seq := range need {
+		e := n.index[seq]
+		if e == nil || len(e.providers) == 0 {
+			continue
+		}
+		key := uint64(n.cfg.Channel.Ref(seq).ID())
+		for _, p := range e.providers {
+			batch.Ops = append(batch.Ops, wire.ReplicaOp{
+				Key: key, Seq: seq, Holder: p.ent, UpBps: p.upBps,
+				TTLMillis: ttlMillis(p.expire, now),
+			})
+		}
+		if len(batch.Ops) >= maxBatchOps {
+			break
+		}
+	}
+	if len(batch.Ops) == 0 {
+		return nil
+	}
+	return batch
+}
+
+// onDigestReq answers an owner's anti-entropy digest: drop whatever the
+// owner no longer mentions, then report the seqs whose provider set is
+// missing or diverged so the owner re-sends them as a Full batch.
+func (n *Node) onDigestReq(m *wire.DigestReq) wire.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Owner.Addr == n.cs.Self.Addr {
+		return &wire.DigestResp{}
+	}
+	now := time.Now()
+	rs := n.replicaSetLocked(m.Owner)
+	mentioned := make(map[int64]bool, len(m.Digests))
+	for _, d := range m.Digests {
+		mentioned[d.Seq] = true
+	}
+	for seq := range rs.entries {
+		if !mentioned[seq] {
+			delete(rs.entries, seq)
+		}
+	}
+	var need []int64
+	for _, d := range m.Digests {
+		re := rs.entries[d.Seq]
+		if re == nil {
+			need = append(need, d.Seq)
+			continue
+		}
+		re.providers, _ = pruneRecs(re.providers, now)
+		if re.key != d.Key || providerHash(re.providers) != d.Hash {
+			need = append(need, d.Seq)
+		}
+	}
+	if len(rs.entries) == 0 && len(need) == 0 {
+		delete(n.replicas, m.Owner.Addr)
+	}
+	return &wire.DigestResp{Need: need}
+}
+
+// providerHash digests a provider set: FNV-1a over the sorted provider
+// addresses. Lease deadlines are deliberately excluded — every republish
+// refresh would otherwise diverge the hash and force a repair per round.
+func providerHash(provs []provRec) uint64 {
+	addrs := make([]string, 0, len(provs))
+	for _, p := range provs {
+		addrs = append(addrs, p.ent.Addr)
+	}
+	sort.Strings(addrs)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, a := range addrs {
+		for i := 0; i < len(a); i++ {
+			h ^= uint64(a[i])
+			h *= prime64
+		}
+		h ^= 0xff // record separator: addresses must not concatenate ambiguously
+		h *= prime64
+	}
+	return h
+}
+
+// frameBytes returns a message's encoded frame size without sending it
+// (byte accounting for the write-amplification benchmark).
+func frameBytes(m wire.Message) uint64 {
+	nb, err := wire.WriteMessageN(io.Discard, m)
+	if err != nil {
+		return 0
+	}
+	return uint64(nb)
+}

@@ -1,0 +1,583 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// replConfig is resilientConfig tuned for the replication tests: fast
+// flush and anti-entropy cadences, republication disabled so that what
+// the tests observe is the replication layer and nothing else.
+func replConfig() Config {
+	cfg := resilientConfig(false)
+	cfg.Channel.Count = 0
+	cfg.Replicas = 2
+	cfg.ReplicateEvery = 25 * time.Millisecond
+	cfg.AntiEntropyEvery = 200 * time.Millisecond
+	cfg.IndexTTL = 30 * time.Second
+	cfg.RepublishEvery = 0
+	return cfg
+}
+
+// startMaint launches the maintenance loops the way Start() would,
+// without the generate/fetch pipelines (these tests drive index ops by
+// hand).
+func startMaint(nd *Node) {
+	nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+	nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+	nd.loop(nd.cfg.RepublishEvery, nd.republish)
+	if nd.cfg.Replicas > 0 {
+		nd.loop(nd.cfg.ReplicateEvery, nd.replicateFlush)
+		nd.loop(nd.cfg.AntiEntropyEvery, nd.antiEntropy)
+	}
+}
+
+// buildRing assembles and converges an n-node ring of cfg-shaped nodes.
+func buildRing(t *testing.T, f *transport.Fabric, cfg Config, count int) []*Node {
+	t.Helper()
+	var nodes []*Node
+	for i := 0; i < count; i++ {
+		nd, err := NewNode(cfg, memAttach(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := nd.Join(nodes[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		startMaint(nd)
+	}
+	waitFor(t, 10*time.Second, "ring convergence", func() bool {
+		return ringCorrect(nodes)
+	})
+	return nodes
+}
+
+func closeAll(nodes []*Node) {
+	for _, nd := range nodes {
+		nd.Close()
+	}
+}
+
+// ownerOf locates the ring member owning seq's chunk key.
+func ownerOf(t *testing.T, nodes []*Node, seq int64) (*Node, uint64) {
+	t.Helper()
+	key := uint64(nodes[0].cfg.Channel.Ref(seq).ID())
+	owner, _, _, _, err := nodes[0].FindOwner(key)
+	if err != nil {
+		t.Fatalf("FindOwner: %v", err)
+	}
+	for _, nd := range nodes {
+		if nd.Addr() == owner.Addr {
+			return nd, key
+		}
+	}
+	t.Fatalf("owner %s not among ring members", owner.Addr)
+	return nil, 0
+}
+
+// replicaHolds reports whether nd replicates (ownerAddr, seq) with
+// provAddr among the providers.
+func replicaHolds(nd *Node, ownerAddr string, seq int64, provAddr string) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	rs := nd.replicas[ownerAddr]
+	if rs == nil {
+		return false
+	}
+	re := rs.entries[seq]
+	if re == nil {
+		return false
+	}
+	for _, p := range re.providers {
+		if p.ent.Addr == provAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// countReplicaHolders counts ring members replicating (ownerAddr, seq).
+func countReplicaHolders(nodes []*Node, ownerAddr string, seq int64, provAddr string) int {
+	c := 0
+	for _, nd := range nodes {
+		if nd.Addr() != ownerAddr && replicaHolds(nd, ownerAddr, seq, provAddr) {
+			c++
+		}
+	}
+	return c
+}
+
+// TestInsertsReplicateToSuccessors: an accepted Insert shows up at the
+// owner's first r successors within a few flush periods.
+func TestInsertsReplicateToSuccessors(t *testing.T) {
+	f := transport.NewFabric()
+	nodes := buildRing(t, f, replConfig(), 5)
+	defer closeAll(nodes)
+
+	const seq = 7
+	owner, key := ownerOf(t, nodes, seq)
+	prov := wire.Entry{ID: 4242, Addr: nodes[0].Addr()}
+	resp := owner.onInsert(&wire.Insert{Key: key, Seq: seq, Holder: prov, UpBps: 1000})
+	if _, ok := resp.(*wire.Ack); !ok {
+		t.Fatalf("insert at owner rejected: %#v", resp)
+	}
+
+	waitFor(t, 5*time.Second, "insert to replicate to r successors", func() bool {
+		return countReplicaHolders(nodes, owner.Addr(), seq, prov.Addr) >= owner.cfg.Replicas
+	})
+
+	// An unregister replicates too: the provider disappears from replicas.
+	owner.onInsert(&wire.Insert{Key: key, Seq: seq, Holder: prov, Unregister: true})
+	waitFor(t, 5*time.Second, "unregister to replicate", func() bool {
+		return countReplicaHolders(nodes, owner.Addr(), seq, prov.Addr) == 0
+	})
+}
+
+// TestTakeoverAfterCoordinatorDeath: killing a coordinator abruptly must
+// not lose its index — the first live successor promotes the replicated
+// entries and answers lookups from them.
+func TestTakeoverAfterCoordinatorDeath(t *testing.T) {
+	f := transport.NewFabric()
+	nodes := buildRing(t, f, replConfig(), 5)
+	defer closeAll(nodes)
+
+	const seq = 11
+	owner, key := ownerOf(t, nodes, seq)
+	prov := wire.Entry{ID: 777, Addr: nodes[0].Addr()}
+	if nodes[0] == owner {
+		prov.Addr = nodes[1].Addr()
+	}
+	owner.onInsert(&wire.Insert{Key: key, Seq: seq, Holder: prov, UpBps: 1000})
+	waitFor(t, 5*time.Second, "entry to replicate before the kill", func() bool {
+		return countReplicaHolders(nodes, owner.Addr(), seq, prov.Addr) >= owner.cfg.Replicas
+	})
+
+	owner.Close()
+	var survivors []*Node
+	for _, nd := range nodes {
+		if nd != owner {
+			survivors = append(survivors, nd)
+		}
+	}
+	waitFor(t, 15*time.Second, "ring to heal around the dead coordinator", func() bool {
+		return ringCorrect(survivors)
+	})
+
+	// The lookup is answered from the promoted replica — no republication
+	// ran in this configuration, so nothing else could restore the entry.
+	asker := survivors[0]
+	if asker.Addr() == prov.Addr && len(survivors) > 1 {
+		asker = survivors[1]
+	}
+	var got []wire.Entry
+	waitFor(t, 10*time.Second, "lookup to be answered from the replica", func() bool {
+		providers, err := asker.lookupProviders(key, seq)
+		if err != nil {
+			return false
+		}
+		got = providers
+		return len(providers) > 0
+	})
+	if got[0].Addr != prov.Addr {
+		t.Fatalf("lookup answered %v, want provider %s", got, prov.Addr)
+	}
+	var takeoverEntries uint64
+	for _, nd := range survivors {
+		takeoverEntries += nd.lm.takeoverEntries.Value()
+	}
+	if takeoverEntries == 0 {
+		t.Fatal("no replica entry was ever promoted; lookup must have been answered some other way")
+	}
+}
+
+// TestGracefulLeaveSurvivesSuccessorDeath is the PR 3 regression test for
+// the handoff-loss bug: before replication, a graceful leaver handed its
+// whole index to exactly one successor, and if that successor died before
+// the next republish the entries were simply gone. Replication sends the
+// handed-off range past the new owner, whose death now promotes it.
+func TestGracefulLeaveSurvivesSuccessorDeath(t *testing.T) {
+	f := transport.NewFabric()
+	nodes := buildRing(t, f, replConfig(), 5)
+	defer closeAll(nodes)
+
+	const seq = 13
+	owner, key := ownerOf(t, nodes, seq)
+	// The provider must be a node that survives both departures.
+	var prov *Node
+	_, succAddr := owner.Successor()
+	for _, nd := range nodes {
+		if nd != owner && nd.Addr() != succAddr {
+			prov = nd
+			break
+		}
+	}
+	provEnt := wire.Entry{ID: uint64(prov.ID()), Addr: prov.Addr()}
+	owner.onInsert(&wire.Insert{Key: key, Seq: seq, Holder: provEnt, UpBps: 1000})
+
+	// Graceful leave: index hands off to the successor and replicates past
+	// it in the same breath.
+	if err := owner.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	var heir *Node
+	var survivors []*Node
+	for _, nd := range nodes {
+		if nd == owner {
+			continue
+		}
+		survivors = append(survivors, nd)
+		if nd.Addr() == succAddr {
+			heir = nd
+		}
+	}
+	waitFor(t, 10*time.Second, "ring to settle after the leave", func() bool {
+		return ringCorrect(survivors)
+	})
+
+	// Now the sole handoff successor dies abruptly — the pre-replication
+	// stack lost the entry here with RepublishEvery disabled.
+	heir.Close()
+	var remaining []*Node
+	for _, nd := range survivors {
+		if nd != heir {
+			remaining = append(remaining, nd)
+		}
+	}
+	waitFor(t, 15*time.Second, "ring to heal around the dead heir", func() bool {
+		return ringCorrect(remaining)
+	})
+
+	asker := remaining[0]
+	if asker == prov && len(remaining) > 1 {
+		asker = remaining[1]
+	}
+	waitFor(t, 10*time.Second, "handed-off entry to survive the heir's death", func() bool {
+		providers, err := asker.lookupProviders(key, seq)
+		return err == nil && len(providers) > 0 && providers[0].Addr == prov.Addr()
+	})
+}
+
+// TestAntiEntropyRepairsMissedReplication: with batch flushing effectively
+// disabled, the digest exchange alone must converge replicas onto the
+// owner's index.
+func TestAntiEntropyRepairsMissedReplication(t *testing.T) {
+	cfg := replConfig()
+	cfg.ReplicateEvery = time.Hour // batches never flush; only digests run
+	f := transport.NewFabric()
+	nodes := buildRing(t, f, cfg, 5)
+	defer closeAll(nodes)
+
+	const seq = 17
+	owner, key := ownerOf(t, nodes, seq)
+	prov := wire.Entry{ID: 31337, Addr: nodes[0].Addr()}
+	owner.onInsert(&wire.Insert{Key: key, Seq: seq, Holder: prov, UpBps: 1000})
+
+	waitFor(t, 10*time.Second, "digest round to repair the replicas", func() bool {
+		return countReplicaHolders(nodes, owner.Addr(), seq, prov.Addr) >= owner.cfg.Replicas
+	})
+	if owner.Stats().DigestRepairs == 0 {
+		t.Fatal("replicas converged without any digest repair being counted")
+	}
+
+	// Divergence repairs too: corrupt one replica's provider set and wait
+	// for the hash mismatch to trigger a re-send.
+	var replica *Node
+	for _, nd := range nodes {
+		if nd != owner && replicaHolds(nd, owner.Addr(), seq, prov.Addr) {
+			replica = nd
+			break
+		}
+	}
+	replica.mu.Lock()
+	replica.replicas[owner.Addr()].entries[seq].providers = nil
+	replica.mu.Unlock()
+	waitFor(t, 10*time.Second, "diverged replica to be repaired", func() bool {
+		return replicaHolds(replica, owner.Addr(), seq, prov.Addr)
+	})
+}
+
+// TestIndexLeaseExpiry: a provider that stops republishing ages out of
+// lookup answers once its lease lapses (satellite: coordinator-side TTL).
+func TestIndexLeaseExpiry(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := fastConfig(true)
+	cfg.Channel.Count = 0
+	cfg.Replicas = 0
+	cfg.IndexTTL = 250 * time.Millisecond
+	n, err := NewNode(cfg, memAttach(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	key := uint64(n.cfg.Channel.Ref(3).ID())
+	n.onInsert(&wire.Insert{Key: key, Seq: 3, Holder: wire.Entry{ID: 1, Addr: "mem://dead"}, UpBps: 1})
+	if lr := n.onLookup(&wire.Lookup{Key: key, Seq: 3, MaxWait: 0}).(*wire.LookupResp); len(lr.Providers) == 0 {
+		t.Fatal("fresh registration not served")
+	}
+	time.Sleep(400 * time.Millisecond)
+	if lr := n.onLookup(&wire.Lookup{Key: key, Seq: 3, MaxWait: 0}).(*wire.LookupResp); len(lr.Providers) != 0 {
+		t.Fatalf("expired registration still served: %v", lr.Providers)
+	}
+	if n.Stats().ProvidersExpired == 0 {
+		t.Fatal("expiry not counted")
+	}
+
+	// A re-insert refreshes the lease rather than duplicating the record.
+	n.onInsert(&wire.Insert{Key: key, Seq: 5, Holder: wire.Entry{ID: 2, Addr: "mem://alive"}, UpBps: 1})
+	time.Sleep(150 * time.Millisecond)
+	n.onInsert(&wire.Insert{Key: key, Seq: 5, Holder: wire.Entry{ID: 2, Addr: "mem://alive"}, UpBps: 1})
+	time.Sleep(150 * time.Millisecond) // 300ms after first insert, 150ms after refresh
+	lr := n.onLookup(&wire.Lookup{Key: key, Seq: 5, MaxWait: 0}).(*wire.LookupResp)
+	if len(lr.Providers) != 1 {
+		t.Fatalf("refreshed registration: got %v, want exactly one provider", lr.Providers)
+	}
+}
+
+// TestLeaseTTLWireRoundTrip pins the relative-TTL discipline: deadlines
+// never cross the wire as absolute times, and zero means no lease in both
+// directions.
+func TestLeaseTTLWireRoundTrip(t *testing.T) {
+	now := time.Now()
+	if got := ttlMillis(time.Time{}, now); got != 0 {
+		t.Fatalf("zero deadline -> ttl %d, want 0", got)
+	}
+	if got := restamp(0, now); !got.IsZero() {
+		t.Fatalf("ttl 0 -> deadline %v, want zero", got)
+	}
+	ttl := ttlMillis(now.Add(5*time.Second), now)
+	if ttl < 4900 || ttl > 5100 {
+		t.Fatalf("5s lease -> ttl %dms", ttl)
+	}
+	back := restamp(ttl, now)
+	if d := back.Sub(now); d < 4*time.Second || d > 6*time.Second {
+		t.Fatalf("restamped lease %v from now", d)
+	}
+	if got := ttlMillis(now.Add(-time.Second), now); got != 1 {
+		t.Fatalf("expired-in-flight lease -> ttl %d, want 1", got)
+	}
+}
+
+// TestProviderHashSemantics pins the digest hash: order-insensitive,
+// lease-insensitive, membership-sensitive.
+func TestProviderHashSemantics(t *testing.T) {
+	a := provRec{ent: wire.Entry{ID: 1, Addr: "mem://a"}, expire: time.Now()}
+	b := provRec{ent: wire.Entry{ID: 2, Addr: "mem://b"}}
+	h1 := providerHash([]provRec{a, b})
+	h2 := providerHash([]provRec{b, a})
+	if h1 != h2 {
+		t.Fatal("hash is order-sensitive")
+	}
+	a2 := a
+	a2.expire = time.Now().Add(time.Hour)
+	if providerHash([]provRec{a2, b}) != h1 {
+		t.Fatal("hash is lease-sensitive: every refresh would force a repair")
+	}
+	if providerHash([]provRec{a}) == h1 {
+		t.Fatal("hash ignores membership")
+	}
+	// The separator keeps concatenations apart: {"ab"} vs {"a","b"}.
+	x := providerHash([]provRec{{ent: wire.Entry{Addr: "ab"}}})
+	y := providerHash([]provRec{{ent: wire.Entry{Addr: "a"}}, {ent: wire.Entry{Addr: "b"}}})
+	if x == y {
+		t.Fatal("hash is concatenation-ambiguous")
+	}
+}
+
+// TestConcurrentJoinsOwnershipTransfer (satellite: chord key-ownership
+// transfer under concurrent joins): two nodes join between the same pair
+// of a converged ring while inserts are in flight; afterwards every
+// inserted seq must resolve at the sorted-ring owner.
+func TestConcurrentJoinsOwnershipTransfer(t *testing.T) {
+	f := transport.NewFabric()
+	cfg := replConfig()
+	cfg.RepublishEvery = 500 * time.Millisecond // production repair path stays on
+	nodes := buildRing(t, f, cfg, 3)
+	defer closeAll(nodes)
+
+	// Addresses are deterministic (mem://N in attach order) and node IDs
+	// derive from the address alone, so future IDs are computable before
+	// any node exists. Find the widest gap in the current ring and two
+	// future attach slots whose IDs both land inside it.
+	ids := make([]chord.ID, len(nodes))
+	for i, nd := range nodes {
+		ids[i] = nd.ID()
+	}
+	gapLo, gapHi := widestGap(ids)
+	next := 4 // three nodes attached so far -> next fabric address is mem://4
+	var slots []int
+	var insideCount int
+	for k := next; insideCount < 2 && k < next+256; k++ {
+		slots = append(slots, k)
+		if chord.InOO(gapLo, chord.HashString(fmt.Sprintf("live-node-mem://%d", k)), gapHi) {
+			insideCount++
+		} else {
+			continue
+		}
+		if insideCount == 2 {
+			break
+		}
+	}
+	if insideCount < 2 {
+		t.Skip("no two attach slots hash into the widest gap within 256 tries")
+	}
+
+	// Attach every slot in order (addresses are positional); only the two
+	// in-gap nodes join, the rest are closed unused.
+	var joiners []*Node
+	for range slots {
+		nd, err := NewNode(cfg, memAttach(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chord.InOO(gapLo, nd.ID(), gapHi) {
+			joiners = append(joiners, nd)
+		} else {
+			nd.Close()
+		}
+	}
+	if len(joiners) != 2 {
+		t.Fatalf("expected 2 in-gap joiners, got %d", len(joiners))
+	}
+
+	// Inserts in flight throughout both joins.
+	inserter := nodes[0]
+	stop := make(chan struct{})
+	var insMu sync.Mutex
+	var inserted []int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := int64(100); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			inserter.insertIndex(seq)
+			insMu.Lock()
+			inserted = append(inserted, seq)
+			insMu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Both join concurrently, between the same pair. Routing can transiently
+	// loop while the other join is mid-flight (fingers lag the membership
+	// change), so each joiner retries — exactly what a real node does when a
+	// join bounces off a churning ring.
+	var jwg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, nd := range joiners {
+		jwg.Add(1)
+		go func(i int, nd *Node) {
+			defer jwg.Done()
+			for attempt := 0; attempt < 10; attempt++ {
+				if errs[i] = nd.Join(nodes[0].Addr()); errs[i] == nil {
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}(i, nd)
+	}
+	jwg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent join %d: %v", i, err)
+		}
+	}
+	for _, nd := range joiners {
+		startMaint(nd)
+	}
+	all := append(append([]*Node{}, nodes...), joiners...)
+	defer closeAll(joiners)
+	waitFor(t, 15*time.Second, "5-node ring to converge after concurrent joins", func() bool {
+		return ringCorrect(all)
+	})
+	time.Sleep(300 * time.Millisecond) // a few more insert rounds post-convergence
+	close(stop)
+	wg.Wait()
+
+	// Every inserted seq resolves, and at the node the sorted ring says
+	// owns its key (ownership transferred correctly through the joins).
+	insMu.Lock()
+	seqs := append([]int64(nil), inserted...)
+	insMu.Unlock()
+	if len(seqs) == 0 {
+		t.Fatal("no inserts happened during the joins")
+	}
+	for _, seq := range seqs {
+		key := uint64(cfg.Channel.Ref(seq).ID())
+		wantOwner := sortedRingOwner(all, chord.ID(key))
+		waitFor(t, 10*time.Second, fmt.Sprintf("seq %d to resolve at its owner", seq), func() bool {
+			owner, _, _, _, err := nodes[0].FindOwner(key)
+			if err != nil || owner.Addr != wantOwner.Addr() {
+				return false
+			}
+			providers, err := nodes[0].lookupProviders(key, seq)
+			if err != nil {
+				return false
+			}
+			for _, p := range providers {
+				if p.Addr == inserter.Addr() {
+					return true
+				}
+			}
+			return false
+		})
+	}
+}
+
+// widestGap returns the (lo, hi) bounding IDs of the largest arc between
+// consecutive ring members.
+func widestGap(ids []chord.ID) (lo, hi chord.ID) {
+	sorted := append([]chord.ID(nil), ids...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	best := uint64(0)
+	for i := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		width := uint64(next) - uint64(sorted[i]) // wraps correctly in uint64
+		if width > best {
+			best = width
+			lo, hi = sorted[i], next
+		}
+	}
+	return lo, hi
+}
+
+// sortedRingOwner returns the member owning key per the sorted ring: the
+// first node clockwise at or after key.
+func sortedRingOwner(nodes []*Node, key chord.ID) *Node {
+	sorted := append([]*Node(nil), nodes...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].ID() < sorted[i].ID() {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, nd := range sorted {
+		if nd.ID() >= key {
+			return nd
+		}
+	}
+	return sorted[0] // wrapped
+}

@@ -109,9 +109,11 @@ func (n *Node) insertIndex(seq int64) {
 		if err == nil {
 			if owner.Addr == n.Addr() {
 				n.onInsert(msg)
+				n.lm.indexInsertBytes.Add(frameBytes(msg))
 				return
 			}
 			if _, err = n.callIdem(owner.Addr, msg); err == nil {
+				n.lm.indexInsertBytes.Add(frameBytes(msg))
 				return
 			}
 		}
@@ -322,6 +324,11 @@ func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
 			return lr.Providers, nil
 		}
 	}
+	// Every candidate coordinator (owner plus its successor list) failed
+	// across every re-route attempt: this is the outage replication exists
+	// to prevent, so it gets its own counter (soak tests assert zero).
+	n.lm.lookupFailures.Inc()
+	n.traceEvent("lookup.fail", seqDetail(seq))
 	return nil, lastErr
 }
 

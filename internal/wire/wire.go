@@ -35,6 +35,9 @@ const (
 	KindChunkResp
 	KindHandoff
 	KindLeave
+	KindReplicateBatch
+	KindDigestReq
+	KindDigestResp
 )
 
 // MaxFrame bounds a frame (type byte + payload). Chunks dominate; 4 MiB
@@ -206,6 +209,52 @@ type Leave struct {
 	NewSucc []Entry
 }
 
+// ReplicaOp is one replicated index mutation: a provider registration (or
+// withdrawal) the owning coordinator mirrors onto its successors. TTLMillis
+// is the provider lease's remaining lifetime when the op was sent (0 = no
+// lease); receivers restamp against their own clock, so absolute times
+// never cross the wire.
+type ReplicaOp struct {
+	Key        uint64
+	Seq        int64
+	Holder     Entry
+	UpBps      int64
+	TTLMillis  uint32
+	Unregister bool
+}
+
+// ReplicateBatch mirrors a batch of index mutations from Owner onto a
+// successor. Full means the ops are the owner's complete record for every
+// seq they mention — the receiver replaces those entries instead of
+// merging (anti-entropy repair uses this to erase divergence).
+type ReplicateBatch struct {
+	Owner Entry
+	Full  bool
+	Ops   []ReplicaOp
+}
+
+// SeqDigest summarizes one owned index entry for anti-entropy: a hash over
+// the entry's live provider set.
+type SeqDigest struct {
+	Key  uint64
+	Seq  int64
+	Hash uint64
+}
+
+// DigestReq carries the owner's complete per-entry digests for its owned
+// range. A replica drops its copies of entries absent from the digest (the
+// owner no longer has them) and answers with the seqs it needs re-sent.
+type DigestReq struct {
+	Owner   Entry
+	Digests []SeqDigest
+}
+
+// DigestResp lists the seqs the replica is missing or holds divergently;
+// the owner follows up with a Full ReplicateBatch for them.
+type DigestResp struct {
+	Need []int64
+}
+
 // ---------------------------------------------------------------------------
 // Framing.
 
@@ -317,6 +366,12 @@ func New(k Kind) (Message, error) {
 		return &Handoff{}, nil
 	case KindLeave:
 		return &Leave{}, nil
+	case KindReplicateBatch:
+		return &ReplicateBatch{}, nil
+	case KindDigestReq:
+		return &DigestReq{}, nil
+	case KindDigestResp:
+		return &DigestResp{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
 	}
@@ -623,5 +678,101 @@ func (m *Leave) decode(r *reader) error {
 	m.NewPred = r.entry()
 	m.PredOK = r.boolean()
 	m.NewSucc = r.entries()
+	return r.err
+}
+
+func (m *ReplicateBatch) Kind() Kind { return KindReplicateBatch }
+func (m *ReplicateBatch) encode(b []byte) []byte {
+	b = putEntry(b, m.Owner)
+	b = putBool(b, m.Full)
+	b = putU32(b, uint32(len(m.Ops)))
+	for _, op := range m.Ops {
+		b = putU64(b, op.Key)
+		b = putI64(b, op.Seq)
+		b = putEntry(b, op.Holder)
+		b = putI64(b, op.UpBps)
+		b = putU32(b, op.TTLMillis)
+		b = putBool(b, op.Unregister)
+	}
+	return b
+}
+func (m *ReplicateBatch) decode(r *reader) error {
+	m.Owner = r.entry()
+	m.Full = r.boolean()
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/41 { // each op is >= 41 bytes encoded
+		r.fail()
+		return r.err
+	}
+	if n == 0 {
+		return r.err
+	}
+	m.Ops = make([]ReplicaOp, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var op ReplicaOp
+		op.Key = r.u64()
+		op.Seq = r.i64()
+		op.Holder = r.entry()
+		op.UpBps = r.i64()
+		op.TTLMillis = r.u32()
+		op.Unregister = r.boolean()
+		m.Ops = append(m.Ops, op)
+	}
+	return r.err
+}
+
+func (m *DigestReq) Kind() Kind { return KindDigestReq }
+func (m *DigestReq) encode(b []byte) []byte {
+	b = putEntry(b, m.Owner)
+	b = putU32(b, uint32(len(m.Digests)))
+	for _, d := range m.Digests {
+		b = putU64(b, d.Key)
+		b = putI64(b, d.Seq)
+		b = putU64(b, d.Hash)
+	}
+	return b
+}
+func (m *DigestReq) decode(r *reader) error {
+	m.Owner = r.entry()
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/24 { // each digest is 24 bytes encoded
+		r.fail()
+		return r.err
+	}
+	if n == 0 {
+		return r.err
+	}
+	m.Digests = make([]SeqDigest, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var d SeqDigest
+		d.Key = r.u64()
+		d.Seq = r.i64()
+		d.Hash = r.u64()
+		m.Digests = append(m.Digests, d)
+	}
+	return r.err
+}
+
+func (m *DigestResp) Kind() Kind { return KindDigestResp }
+func (m *DigestResp) encode(b []byte) []byte {
+	b = putU32(b, uint32(len(m.Need)))
+	for _, seq := range m.Need {
+		b = putI64(b, seq)
+	}
+	return b
+}
+func (m *DigestResp) decode(r *reader) error {
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/8 {
+		r.fail()
+		return r.err
+	}
+	if n == 0 {
+		return r.err
+	}
+	m.Need = make([]int64, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		m.Need = append(m.Need, r.i64())
+	}
 	return r.err
 }

@@ -47,6 +47,15 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Handoff{Entries: []HandoffEntry{{Key: 1, Seq: 2, Providers: []Entry{e1}}, {Key: 3, Seq: 4}}},
 		&Leave{From: e1, NewPred: e2, PredOK: true, NewSucc: []Entry{e1}},
 		&Leave{From: e2},
+		&ReplicateBatch{Owner: e1, Ops: []ReplicaOp{
+			{Key: 7, Seq: 3, Holder: e2, UpBps: 500000, TTLMillis: 45000},
+			{Key: 8, Seq: 4, Holder: e1, Unregister: true},
+		}},
+		&ReplicateBatch{Owner: e2, Full: true},
+		&DigestReq{Owner: e1, Digests: []SeqDigest{{Key: 1, Seq: 2, Hash: 0xABCD}, {Key: 3, Seq: 4, Hash: 0}}},
+		&DigestReq{Owner: e2},
+		&DigestResp{Need: []int64{1, -2, 3}},
+		&DigestResp{},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
