@@ -59,6 +59,15 @@ func main() {
 		joinAttempts    = flag.Int("join-attempts", 3, "rounds over the -join list before giving up")
 		maxFrameKB      = flag.Int("max-frame-kb", 0, "per-connection frame size cap in KiB (0 = wire protocol default)")
 
+		// Overload & admission control (see DESIGN.md, "Overload & admission
+		// control").
+		upBps         = flag.Int64("up-bps", 10_000_000, "upload budget in bits/sec, enforced on the chunk serve path (0 = unlimited)")
+		admitQueue    = flag.Int("admit-queue", 0, "bound on chunk serves queued behind the upload pacer; excess is shed Busy+RetryAfterMs (0 = derive)")
+		admitBurst    = flag.Int64("admit-burst", 0, "pacer burst allowance in bytes (0 = derive from chunk size and -up-bps)")
+		admitMaxWait  = flag.Duration("admit-max-wait", 600*time.Millisecond, "cap on how long one admitted serve may queue behind the pacer")
+		fetchDeadline = flag.Int("fetch-deadline", 0, "viewer playback horizon in chunk periods; chunks not fetched in time are abandoned (0 = retry forever)")
+		loadReport    = flag.Bool("load-report", true, "piggyback this node's load factor on inserts and chunk responses (steers capacity-weighted selection)")
+
 		// Replication & repair (see DESIGN.md, "Replication & repair").
 		replicas    = flag.Int("replicas", 2, "index replication factor: successors mirroring each coordinator's entries (0 disables)")
 		replEvery   = flag.Duration("replicate-every", 150*time.Millisecond, "how often queued index ops are batch-flushed to the replicas")
@@ -92,6 +101,12 @@ func main() {
 	cfg.Breaker.Cooldown = *breakerCooldown
 	cfg.ProviderCooldown = *providerCool
 	cfg.JoinAttempts = *joinAttempts
+	cfg.UpBps = *upBps
+	cfg.AdmitQueue = *admitQueue
+	cfg.AdmitBurst = *admitBurst
+	cfg.AdmitMaxWait = *admitMaxWait
+	cfg.FetchDeadlineChunks = *fetchDeadline
+	cfg.LoadReport = *loadReport
 	cfg.Replicas = *replicas
 	cfg.ReplicateEvery = *replEvery
 	cfg.AntiEntropyEvery = *antiEntropy
@@ -213,9 +228,9 @@ func main() {
 			if *verbosity >= 1 {
 				st := node.Stats()
 				_, succ := node.Successor()
-				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d busy=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d succ=%s\n",
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d shed=%d paced=%d abandoned=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d succ=%s\n",
 					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
-					st.FetchRetries, st.BusyRejections,
+					st.FetchRetries, st.ChunksShedBusy, st.PacedServes, st.ChunksAbandoned,
 					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted,
 					st.ReplicaOpsApplied, st.IndexTakeovers, succ)
 			}

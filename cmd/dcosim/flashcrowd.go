@@ -1,0 +1,180 @@
+package main
+
+// The "flashcrowd" method benchmarks the admission-control layer on the
+// real node stack: n-1 viewers all join a 1-source stream within one chunk
+// period while the source's upload budget covers only a couple of chunk
+// serves per period. The run reports how the overload was absorbed —
+// source bytes vs its paced budget, sheds and the retry hints they
+// carried, and the delivered percentage the crowd still reached by feeding
+// itself. This is what BENCH_PR4.json is generated from.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dco/internal/live"
+	"dco/internal/transport"
+)
+
+// flashResult is the -json schema of a flash-crowd run. Field names are
+// stable — BENCH_PR4.json and CI trend checks parse them.
+type flashResult struct {
+	Method           string  `json:"method"`
+	N                int     `json:"n"`
+	Chunks           int64   `json:"chunks"`
+	SourceUpBps      int64   `json:"source_up_bps"`
+	JoinSeconds      float64 `json:"join_seconds"` // how long the whole crowd took to arrive
+	WallSeconds      float64 `json:"wall_seconds"`
+	DeliveredPercent float64 `json:"delivered_percent"` // min over viewers
+	SourceServed     uint64  `json:"source_served_chunks"`
+	SourceBytes      uint64  `json:"source_served_bytes"`
+	BudgetBytes      float64 `json:"source_budget_bytes"` // UpBps x wall + burst
+	Sheds            uint64  `json:"sheds"`               // Busy rejections at the source
+	PacedServes      uint64  `json:"paced_serves"`
+	BusyNacks        uint64  `json:"busy_nacks"`          // Busy responses seen by viewers
+	HintlessNacks    uint64  `json:"busy_nacks_hintless"` // of those, without RetryAfterMs (want 0)
+	Abandoned        uint64  `json:"chunks_abandoned"`
+}
+
+// runFlashCrowd executes the flash-crowd benchmark and exits the process.
+func runFlashCrowd(n int, chunks, srcUpBps int64, jsonOut string) {
+	const chunkBytes = 1024
+	cfg := live.DefaultNodeConfig()
+	cfg.Channel.Period = 150 * time.Millisecond
+	cfg.Channel.ChunkBits = chunkBytes * 8
+	cfg.Channel.Count = chunks
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 500 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	cfg.RepublishEvery = 500 * time.Millisecond
+	cfg.FetchDeadlineChunks = 150
+
+	f := transport.NewFabric()
+	attach := func(h transport.Handler) (transport.Transport, error) {
+		return f.Attach(h), nil
+	}
+	srcCfg := cfg
+	srcCfg.Source = true
+	srcCfg.UpBps = srcUpBps
+	srcCfg.AdmitQueue = 8
+	src, err := live.NewNode(srcCfg, attach)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcosim: flashcrowd: %v\n", err)
+		os.Exit(1)
+	}
+	viewers := make([]*live.Node, 0, n-1)
+	for i := 1; i < n; i++ {
+		nd, err := live.NewNode(cfg, attach)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: flashcrowd: %v\n", err)
+			os.Exit(1)
+		}
+		viewers = append(viewers, nd)
+	}
+	all := append([]*live.Node{src}, viewers...)
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	src.Start()
+	start := time.Now()
+	// The crowd: every viewer joins and starts fetching concurrently.
+	var wg sync.WaitGroup
+	var joinErr error
+	var joinMu sync.Mutex
+	for _, nd := range viewers {
+		wg.Add(1)
+		go func(nd *live.Node) {
+			defer wg.Done()
+			if err := nd.Join(src.Addr()); err != nil {
+				joinMu.Lock()
+				joinErr = err
+				joinMu.Unlock()
+				return
+			}
+			nd.Start()
+		}(nd)
+	}
+	wg.Wait()
+	joinDur := time.Since(start)
+	if joinErr != nil {
+		fmt.Fprintf(os.Stderr, "dcosim: flashcrowd: join: %v\n", joinErr)
+		os.Exit(1)
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	want := chunks * 95 / 100
+	for {
+		done := true
+		for _, v := range viewers {
+			if int64(v.ChunkCount()) < want {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "dcosim: flashcrowd: stream did not complete within the deadline\n")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wall := time.Since(start)
+
+	res := flashResult{
+		Method:      "flashcrowd",
+		N:           n,
+		Chunks:      chunks,
+		SourceUpBps: srcUpBps,
+		JoinSeconds: joinDur.Seconds(),
+		WallSeconds: wall.Seconds(),
+	}
+	srcStats := src.Stats()
+	res.SourceServed = srcStats.ChunksServed
+	res.SourceBytes = srcStats.ChunksServed * chunkBytes
+	burst := float64(4 * chunkBytes)
+	if q := float64(srcUpBps) / 8 / 4; q > burst {
+		burst = q
+	}
+	res.BudgetBytes = float64(srcUpBps)/8*wall.Seconds() + burst
+	res.Sheds = srcStats.ChunksShedBusy
+	res.PacedServes = srcStats.PacedServes
+	res.DeliveredPercent = 100
+	for _, v := range viewers {
+		p := 100 * float64(v.ChunkCount()) / float64(chunks)
+		if p < res.DeliveredPercent {
+			res.DeliveredPercent = p
+		}
+		st := v.Stats()
+		res.BusyNacks += st.BusyNacksSeen
+		res.HintlessNacks += st.BusyNacksHintless
+		res.Abandoned += st.ChunksAbandoned
+	}
+
+	fmt.Printf("method=flashcrowd n=%d chunks=%d source_upbps=%d\n", n, chunks, srcUpBps)
+	fmt.Printf("crowd join time:         %v\n", joinDur.Round(time.Millisecond))
+	fmt.Printf("wall time:               %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("delivered (min viewer):  %.2f%%\n", res.DeliveredPercent)
+	fmt.Printf("source served:           %d chunks (%d bytes; paced budget %.0f bytes)\n",
+		res.SourceServed, res.SourceBytes, res.BudgetBytes)
+	fmt.Printf("sheds at source:         %d (paced serves: %d)\n", res.Sheds, res.PacedServes)
+	fmt.Printf("busy nacks at viewers:   %d (%d without retry hint)\n", res.BusyNacks, res.HintlessNacks)
+	fmt.Printf("chunks abandoned:        %d\n", res.Abandoned)
+
+	if jsonOut != "" {
+		if err := writeJSONAny(jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.DeliveredPercent < 95 || res.HintlessNacks > 0 || float64(res.SourceBytes) > res.BudgetBytes {
+		os.Exit(1)
+	}
+}

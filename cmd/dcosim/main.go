@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree | live")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -42,6 +42,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "also write machine-readable results to this file ('-' = stdout)")
 		replicas  = flag.Int("replicas", 0, "live only: index replication factor (0 disables)")
 		kill      = flag.Bool("kill", false, "live only: kill one coordinator mid-stream")
+		srcUpBps  = flag.Int64("src-upbps", 120_000, "flashcrowd only: source upload budget (bits/sec)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,11 @@ func main() {
 		// The live method runs the real node stack, not the event kernel; it
 		// reports its own metrics and exits.
 		runLive(*n, *chunks, *replicas, *kill, *jsonOut)
+		return
+	}
+	if *method == "flashcrowd" {
+		// Also the real node stack: the admission-control stress scenario.
+		runFlashCrowd(*n, *chunks, *srcUpBps, *jsonOut)
 		return
 	}
 

@@ -1,0 +1,289 @@
+package live
+
+// Admission control for the chunk serve path (see DESIGN.md, "Overload &
+// admission control"). The paper's coordinator only hands out providers
+// with "sufficient upload bandwidth" (§III, Fig. 3); this file is the
+// provider-side half of making that promise true: a token-bucket pacer
+// that enforces the node's configured UpBps on outgoing chunk bytes,
+// backed by a small bounded queue of waiting serves. A request that
+// cannot start inside its declared patience is shed with a Busy nack
+// carrying a RetryAfterMs hint, so requesters back off for exactly as
+// long as the backlog needs to drain instead of hammering a saturated
+// provider — SplitStream's lesson that overlays collapse when forwarding
+// load ignores per-node outbound budgets, applied to a pull mesh.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dco/internal/wire"
+)
+
+// loadSaturatedMilli is the load factor (thousandths) at which a provider
+// counts as saturated: its advertised upload budget is fully committed.
+// Coordinators skip saturated providers in Lookup answers while any
+// unsaturated one exists.
+const loadSaturatedMilli = 1000
+
+// loadCeilingMilli caps the reported load factor; beyond 10x the budget
+// the exact depth of the backlog carries no extra signal.
+const loadCeilingMilli = 10_000
+
+// pacer is a token-bucket upload pacer: capacity burst bytes, refilled at
+// rate bytes/sec. Admission reserves bytes up front ("debt"); a request
+// whose reservation cannot be covered before its patience runs out — or
+// that would exceed the bounded waiter queue — is shed with a retry hint.
+// All methods are safe for concurrent use.
+type pacer struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second; <= 0 disables pacing entirely
+	burst    float64 // bucket capacity in bytes
+	debt     float64 // bytes committed but not yet drained by refill
+	last     time.Time
+	waiters  int // admitted serves currently sleeping out their pace delay
+	maxQueue int // bound on waiters; excess requests are shed immediately
+
+	// now is a test seam (frozen clocks make the arithmetic exact).
+	now func() time.Time
+}
+
+// newPacer builds a pacer enforcing upBps (bits per second) with the given
+// burst allowance in bytes and waiter-queue bound. upBps <= 0 returns an
+// unlimited pacer (admit always succeeds instantly, load reads 0).
+func newPacer(upBps int64, burstBytes int64, maxQueue int) *pacer {
+	if maxQueue <= 0 {
+		maxQueue = 16
+	}
+	if burstBytes <= 0 {
+		burstBytes = 64 * 1024
+	}
+	return &pacer{
+		rate:     float64(upBps) / 8,
+		burst:    float64(burstBytes),
+		maxQueue: maxQueue,
+		now:      time.Now,
+	}
+}
+
+// advanceLocked drains debt by the refill accrued since the last call.
+func (p *pacer) advanceLocked(t time.Time) {
+	if p.last.IsZero() {
+		p.last = t
+		return
+	}
+	if dt := t.Sub(p.last).Seconds(); dt > 0 {
+		p.debt -= p.rate * dt
+		if p.debt < 0 {
+			p.debt = 0
+		}
+	}
+	p.last = t
+}
+
+// admit reserves n bytes against the budget. ok=true means the caller may
+// send after sleeping wait (0 = immediately) and must then call release
+// (or refund, if it aborts the send). ok=false is a shed: retry is the
+// pacer's estimate of when the transfer could start, always >= 1ms — the
+// RetryAfterMs hint put on the wire.
+func (p *pacer) admit(n int, patience time.Duration) (wait, retry time.Duration, ok bool) {
+	if n <= 0 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rate <= 0 {
+		return 0, 0, true
+	}
+	p.advanceLocked(p.now())
+	over := p.debt + float64(n) - p.burst
+	if over > 0 {
+		wait = time.Duration(over / p.rate * float64(time.Second))
+	}
+	if wait > patience || (wait > 0 && p.waiters >= p.maxQueue) {
+		retry = wait
+		if retry < time.Millisecond {
+			retry = time.Millisecond
+		}
+		return 0, retry, false
+	}
+	p.debt += float64(n)
+	if wait > 0 {
+		p.waiters++
+	}
+	return wait, 0, true
+}
+
+// release frees the waiter slot taken by an admit that returned wait > 0.
+func (p *pacer) release(waited bool) {
+	if !waited {
+		return
+	}
+	p.mu.Lock()
+	p.waiters--
+	p.mu.Unlock()
+}
+
+// refund gives back an admitted reservation whose send was abandoned
+// (node closing mid-wait): the bytes never hit the wire.
+func (p *pacer) refund(n int, waited bool) {
+	p.mu.Lock()
+	p.debt -= float64(n)
+	if p.debt < 0 {
+		p.debt = 0
+	}
+	if waited {
+		p.waiters--
+	}
+	p.mu.Unlock()
+}
+
+// loadMilli reports the current load factor in thousandths of the burst
+// allowance: 0 idle, loadSaturatedMilli when the committed backlog equals
+// one full burst, clamped at loadCeilingMilli. This is the number
+// piggybacked on republish Inserts and every ChunkResp.
+func (p *pacer) loadMilli() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rate <= 0 || p.burst <= 0 {
+		return 0
+	}
+	p.advanceLocked(p.now())
+	l := p.debt / p.burst * loadSaturatedMilli
+	if l > loadCeilingMilli {
+		l = loadCeilingMilli
+	}
+	return uint32(l)
+}
+
+// queueDepth reports how many admitted serves are waiting out their pace
+// delay (tests, gauges).
+func (p *pacer) queueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waiters
+}
+
+// ---------------------------------------------------------------------------
+// Node-side glue: what goes on the wire, and both halves of load-aware
+// provider selection (coordinator answer + viewer ordering).
+
+// reportLoadMilli is the load factor this node piggybacks on republish
+// Inserts and ChunkResps (0 when load reporting is disabled).
+func (n *Node) reportLoadMilli() uint32 {
+	if !n.cfg.LoadReport {
+		return 0
+	}
+	return n.pace.loadMilli()
+}
+
+// provLoadTTL bounds how long a heard load factor steers viewer-side
+// provider ordering; past it the provider counts as unknown (idle-equal).
+const provLoadTTL = 3 * time.Second
+
+// noteProviderLoad caches the load factor a ChunkResp carried from addr.
+func (n *Node) noteProviderLoad(addr string, load uint32) {
+	n.provLoadMu.Lock()
+	n.provLoad[addr] = provLoadRec{loadMilli: load, at: time.Now()}
+	// The cache tracks the handful of providers this viewer actually talks
+	// to; bound it anyway so a long-lived node cannot accumulate rows for
+	// every peer that ever served it.
+	if len(n.provLoad) > 4096 {
+		cutoff := time.Now().Add(-provLoadTTL)
+		for a, r := range n.provLoad {
+			if r.at.Before(cutoff) {
+				delete(n.provLoad, a)
+			}
+		}
+	}
+	n.provLoadMu.Unlock()
+}
+
+// orderProvidersByLoad returns a lookup answer reordered by the freshest
+// load factor heard from each provider, least-loaded first — the
+// CoolStreaming move of rotating requests toward the partner with spare
+// capacity. Providers never heard from (or heard from too long ago) rank
+// equal with idle ones, so new providers still get traffic. The sort is
+// stable: the coordinator's own rotation survives among equals.
+func (n *Node) orderProvidersByLoad(provs []wire.Entry) []wire.Entry {
+	if len(provs) < 2 {
+		return provs
+	}
+	now := time.Now()
+	loads := make([]uint32, len(provs))
+	n.provLoadMu.Lock()
+	for i, pr := range provs {
+		if rec, ok := n.provLoad[pr.Addr]; ok && now.Sub(rec.at) < provLoadTTL {
+			loads[i] = rec.loadMilli
+		}
+	}
+	n.provLoadMu.Unlock()
+	type pair struct {
+		e wire.Entry
+		l uint32
+	}
+	pairs := make([]pair, len(provs))
+	for i := range provs {
+		pairs[i] = pair{provs[i], loads[i]}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].l < pairs[b].l })
+	out := make([]wire.Entry, len(pairs))
+	for i := range pairs {
+		out[i] = pairs[i].e
+	}
+	return out
+}
+
+// cohortSpreadMilli defines the coordinator's low-load cohort: providers
+// within this much of the least-loaded report. Rotating inside the cohort
+// spreads a flash crowd across comparably idle providers instead of
+// herding every viewer onto the single best report.
+const cohortSpreadMilli = 300
+
+// selectLocked is the coordinator's capacity-weighted provider selection
+// (replaces blind round-robin): saturated providers are skipped while any
+// unsaturated one exists, the answer is drawn round-robin from the
+// low-load cohort, and backfilled with the next-least-loaded candidates.
+// When every provider is saturated the least-loaded ones are returned
+// anyway — a degraded answer beats an empty one. Caller holds n.mu.
+func (e *indexEntry) selectLocked(max int) []wire.Entry {
+	if len(e.providers) == 0 || max <= 0 {
+		return nil
+	}
+	cand := make([]int, 0, len(e.providers))
+	for i := range e.providers {
+		if e.providers[i].loadMilli < loadSaturatedMilli {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		for i := range e.providers {
+			cand = append(cand, i)
+		}
+	}
+	sort.SliceStable(cand, func(a, b int) bool {
+		pa, pb := &e.providers[cand[a]], &e.providers[cand[b]]
+		if pa.loadMilli != pb.loadMilli {
+			return pa.loadMilli < pb.loadMilli
+		}
+		return pa.upBps > pb.upBps // ties: bigger pipes first
+	})
+	floor := e.providers[cand[0]].loadMilli
+	cohort := cand
+	for i, ci := range cand {
+		if e.providers[ci].loadMilli > floor+cohortSpreadMilli {
+			cohort = cand[:i]
+			break
+		}
+	}
+	out := make([]wire.Entry, 0, max)
+	start := e.rr % len(cohort)
+	for i := 0; i < len(cohort) && len(out) < max; i++ {
+		out = append(out, e.providers[cohort[(start+i)%len(cohort)]].ent)
+	}
+	for i := len(cohort); i < len(cand) && len(out) < max; i++ {
+		out = append(out, e.providers[cand[i]].ent)
+	}
+	e.rr++
+	return out
+}

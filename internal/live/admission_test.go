@@ -1,0 +1,167 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a pacer deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testPacer: 8 Mbit/s = 1 MB/s refill, 100 KB burst, queue of 4.
+func testPacer(clk *fakeClock) *pacer {
+	p := newPacer(8_000_000, 100_000, 4)
+	p.now = clk.now
+	return p
+}
+
+func TestPacerAdmitsWithinBurst(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	for i := 0; i < 10; i++ { // 10 x 10 KB = exactly one burst
+		wait, _, ok := p.admit(10_000, 0)
+		if !ok || wait != 0 {
+			t.Fatalf("admit %d inside the burst: wait=%v ok=%v", i, wait, ok)
+		}
+	}
+	if l := p.loadMilli(); l != loadSaturatedMilli {
+		t.Fatalf("load after one full burst = %d, want %d", l, loadSaturatedMilli)
+	}
+}
+
+func TestPacerPacesBeyondBurst(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	if _, _, ok := p.admit(100_000, 0); !ok {
+		t.Fatal("burst-sized admit rejected")
+	}
+	// The next 10 KB must wait 10ms (1 MB/s refill) — admissible only with
+	// enough patience.
+	wait, _, ok := p.admit(10_000, 50*time.Millisecond)
+	if !ok {
+		t.Fatal("paced admit within patience rejected")
+	}
+	if wait < 9*time.Millisecond || wait > 11*time.Millisecond {
+		t.Fatalf("pace delay %v, want ~10ms", wait)
+	}
+	p.release(true)
+}
+
+func TestPacerShedsPastPatience(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	p.admit(100_000, 0)
+	// 50 KB over budget needs 50ms; patience is 10ms -> shed with a
+	// nonzero hint close to the projected start.
+	_, retry, ok := p.admit(50_000, 10*time.Millisecond)
+	if ok {
+		t.Fatal("admit past patience accepted")
+	}
+	if retry < 45*time.Millisecond || retry > 55*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~50ms", retry)
+	}
+}
+
+func TestPacerRefillDrainsDebt(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	p.admit(100_000, 0)
+	clk.advance(50 * time.Millisecond) // refills 50 KB
+	if l := p.loadMilli(); l != loadSaturatedMilli/2 {
+		t.Fatalf("load after half-burst refill = %d, want %d", l, loadSaturatedMilli/2)
+	}
+	clk.advance(time.Second) // far more than the backlog
+	if l := p.loadMilli(); l != 0 {
+		t.Fatalf("load after full drain = %d, want 0", l)
+	}
+	if wait, _, ok := p.admit(10_000, 0); !ok || wait != 0 {
+		t.Fatalf("post-drain admit: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestPacerQueueBound(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	p.admit(100_000, 0)
+	// Fill the 4 waiter slots with paced admits.
+	for i := 0; i < 4; i++ {
+		if _, _, ok := p.admit(10_000, time.Second); !ok {
+			t.Fatalf("waiter %d rejected with free queue slots", i)
+		}
+	}
+	if d := p.queueDepth(); d != 4 {
+		t.Fatalf("queue depth %d, want 4", d)
+	}
+	// The fifth waiter is shed no matter how patient it is.
+	_, retry, ok := p.admit(10_000, time.Minute)
+	if ok {
+		t.Fatal("admit beyond the queue bound accepted")
+	}
+	if retry <= 0 {
+		t.Fatal("queue-full shed carried no retry hint")
+	}
+	// Releasing a slot re-opens admission.
+	p.release(true)
+	if _, _, ok := p.admit(10_000, time.Second); !ok {
+		t.Fatal("admit after release rejected")
+	}
+}
+
+func TestPacerRefundRestoresBudget(t *testing.T) {
+	clk := newFakeClock()
+	p := testPacer(clk)
+	p.admit(100_000, 0)
+	wait, _, ok := p.admit(20_000, time.Second)
+	if !ok || wait <= 0 {
+		t.Fatalf("paced admit: wait=%v ok=%v", wait, ok)
+	}
+	p.refund(20_000, true)
+	if l := p.loadMilli(); l != loadSaturatedMilli {
+		t.Fatalf("load after refund = %d, want %d", l, loadSaturatedMilli)
+	}
+	if d := p.queueDepth(); d != 0 {
+		t.Fatalf("queue depth after refund = %d, want 0", d)
+	}
+}
+
+func TestPacerUnlimited(t *testing.T) {
+	p := newPacer(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if wait, _, ok := p.admit(1 << 20, 0); !ok || wait != 0 {
+			t.Fatalf("unlimited pacer paced or shed: wait=%v ok=%v", wait, ok)
+		}
+	}
+	if l := p.loadMilli(); l != 0 {
+		t.Fatalf("unlimited pacer reports load %d", l)
+	}
+}
+
+func TestPacerLoadCeiling(t *testing.T) {
+	clk := newFakeClock()
+	p := newPacer(8_000_000, 1000, 1<<20)
+	p.now = clk.now
+	for i := 0; i < 100; i++ {
+		p.admit(1000, time.Hour)
+	}
+	if l := p.loadMilli(); l != loadCeilingMilli {
+		t.Fatalf("load = %d, want ceiling %d", l, loadCeilingMilli)
+	}
+}

@@ -173,7 +173,7 @@ func TestLookupRecoversAfterCoordinatorDeath(t *testing.T) {
 
 	// One lookup call must now succeed end-to-end: the resilience layer
 	// re-routes internally instead of surfacing the dead peer.
-	providers, err := src.lookupProviders(key, seq)
+	providers, err := src.lookupProviders(key, seq, time.Time{})
 	if err != nil {
 		t.Fatalf("lookup after coordinator death: %v", err)
 	}

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dco/internal/stream"
+	"dco/internal/telemetry"
+	"dco/internal/transport"
+)
+
+// TestFlashCrowdSoak is the PR 4 acceptance scenario: 30 viewers all join
+// a 1-source stream inside one chunk period while the source's upload
+// budget covers barely two chunk serves per period. The admission layer
+// must turn that stampede into an orderly spread:
+//
+//   - every viewer still delivers >= 95% of the stream (the crowd feeds
+//     itself once chunks escape the source);
+//   - the source's served bytes stay inside UpBps x elapsed + burst — the
+//     pacer actually enforced the configured budget;
+//   - sheds happened (the test exercised overload, it didn't pass by
+//     having capacity to spare) and every Busy nack the viewers saw
+//     carried a nonzero RetryAfterMs hint;
+//   - shutdown completes promptly: no fetch worker is wedged on a chunk
+//     nobody will ever serve.
+func TestFlashCrowdSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		nViewers   = 30
+		nChunks    = 20
+		chunkBytes = 1024
+	)
+	period := 150 * time.Millisecond
+
+	f := transport.NewFabric()
+	mkCfg := func(source bool) Config {
+		cfg := fastConfig(source)
+		cfg.Channel = stream.Params{Channel: "FC", ChunkBits: chunkBytes * 8, Period: period, Count: nChunks}
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Trace = telemetry.NewTrace(4096)
+		cfg.FetchDeadlineChunks = 150 // generous playback horizon; abandonment is the backstop, not the plan
+		if source {
+			cfg.UpBps = 120_000 // ~2 chunk serves per period: the crowd must share
+			cfg.AdmitQueue = 8
+		} else {
+			cfg.UpBps = 8_000_000
+		}
+		return cfg
+	}
+
+	src, err := NewNode(mkCfg(true), memAttach(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewers := make([]*Node, nViewers)
+	for i := range viewers {
+		nd, err := NewNode(mkCfg(false), memAttach(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viewers[i] = nd
+	}
+	all := append([]*Node{src}, viewers...)
+	var closeOnce sync.Once
+	closeAll := func() {
+		closeOnce.Do(func() {
+			for _, nd := range all {
+				nd.Close()
+			}
+		})
+	}
+	t.Cleanup(closeAll)
+
+	src.Start()
+	start := time.Now()
+
+	// The flash crowd: every viewer joins and starts fetching concurrently.
+	var joinWG sync.WaitGroup
+	for _, nd := range viewers {
+		joinWG.Add(1)
+		go func(nd *Node) {
+			defer joinWG.Done()
+			if err := nd.Join(src.Addr()); err != nil {
+				t.Errorf("flash-crowd join: %v", err)
+				return
+			}
+			nd.Start()
+		}(nd)
+	}
+	joinWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if d := time.Since(start); d > period {
+		t.Fatalf("crowd took %v to join; the scenario requires arrival inside one period (%v)", d, period)
+	}
+
+	// Delivery: >= 95% of the stream at every viewer.
+	const wantChunks = nChunks * 95 / 100
+	waitFor(t, 120*time.Second, "every viewer to deliver >= 95% of the stream", func() bool {
+		for _, v := range viewers {
+			if v.ChunkCount() < wantChunks {
+				return false
+			}
+		}
+		return true
+	})
+	elapsed := time.Since(start)
+
+	// Budget: the source's chunk bytes never exceeded rate x time + burst.
+	srcStats := src.Stats()
+	servedBytes := float64(srcStats.ChunksServed * chunkBytes)
+	burst := float64(4 * chunkBytes) // the derived default for this config
+	if q := float64(src.cfg.UpBps) / 8 / 4; q > burst {
+		burst = q
+	}
+	budget := float64(src.cfg.UpBps)/8*elapsed.Seconds() + burst + chunkBytes
+	if servedBytes > budget {
+		t.Errorf("source served %.0f chunk bytes in %v, exceeding its paced budget of %.0f", servedBytes, elapsed, budget)
+	}
+
+	// Overload was real: the source shed requests, and every Busy nack the
+	// viewers saw carried a usable retry hint.
+	if srcStats.ChunksShedBusy == 0 {
+		t.Error("source never shed a request; the flash crowd did not exercise admission control")
+	}
+	var nacksSeen, hintless, abandoned uint64
+	for _, v := range viewers {
+		st := v.Stats()
+		nacksSeen += st.BusyNacksSeen
+		hintless += st.BusyNacksHintless
+		abandoned += st.ChunksAbandoned
+	}
+	if nacksSeen == 0 {
+		t.Error("no viewer ever saw a Busy nack despite source sheds")
+	}
+	if hintless != 0 {
+		t.Errorf("%d Busy nacks arrived without a RetryAfterMs hint, want 0", hintless)
+	}
+	t.Logf("flash crowd: elapsed=%v source_served=%d sheds=%d paced=%d nacks=%d abandoned=%d",
+		elapsed.Round(time.Millisecond), srcStats.ChunksServed, srcStats.ChunksShedBusy, srcStats.PacedServes, nacksSeen, abandoned)
+
+	// Shutdown must not wedge: every fetch worker exits promptly.
+	done := make(chan struct{})
+	go func() { closeAll(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown wedged: a fetch worker failed to exit")
+	}
+}

@@ -29,6 +29,16 @@ type liveMetrics struct {
 	fetchRetries   *telemetry.Counter
 	busyRejections *telemetry.Counter
 
+	// Admission control (admission.go): serves that found the chunk gone,
+	// serves paced by the upload budget, chunks a viewer gave up on past
+	// its playback horizon, and Busy nacks seen from the viewer side
+	// (split by whether the provider attached a RetryAfterMs hint).
+	chunksMissed      *telemetry.Counter
+	pacedServes       *telemetry.Counter
+	chunksAbandoned   *telemetry.Counter
+	busyNacks         *telemetry.Counter
+	busyNacksHintless *telemetry.Counter
+
 	lookupFailovers      *telemetry.Counter
 	providersBlacklisted *telemetry.Counter
 	rpcRetries           *telemetry.Counter
@@ -68,6 +78,10 @@ type liveMetrics struct {
 	// replicationLag is the queue-to-flush delay of replicated index ops:
 	// how stale a replica can be when its owner dies (the takeover window).
 	replicationLag *telemetry.Histogram
+
+	// serveQueueSeconds is the pace delay admitted chunk serves sat out
+	// before sending — the provider-side half of admission latency.
+	serveQueueSeconds *telemetry.Histogram
 }
 
 // newLiveMetrics registers the node's metric set on reg (creating a
@@ -88,6 +102,12 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		chunksFetched:  reg.Counter("dco_live_chunks_fetched_total"),
 		fetchRetries:   reg.Counter("dco_live_fetch_retries_total"),
 		busyRejections: reg.Counter("dco_live_busy_rejections_total"),
+
+		chunksMissed:      reg.Counter("dco_live_chunks_missed_total"),
+		pacedServes:       reg.Counter("dco_live_paced_serves_total"),
+		chunksAbandoned:   reg.Counter("dco_live_chunks_abandoned_total"),
+		busyNacks:         reg.Counter("dco_live_busy_nacks_total"),
+		busyNacksHintless: reg.Counter("dco_live_busy_nacks_hintless_total"),
 
 		lookupFailovers:      reg.Counter("dco_live_lookup_failovers_total"),
 		providersBlacklisted: reg.Counter("dco_live_providers_blacklisted_total"),
@@ -117,6 +137,7 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		chunkFetchSeconds: reg.Histogram("dco_live_chunk_fetch_seconds", telemetry.DefLatencyBuckets),
 		lookupSeconds:     reg.Histogram("dco_live_lookup_seconds", telemetry.DefLatencyBuckets),
 		replicationLag:    reg.Histogram("dco_live_replication_lag_seconds", telemetry.DefLatencyBuckets),
+		serveQueueSeconds: reg.Histogram("dco_live_serve_queue_seconds", telemetry.DefLatencyBuckets),
 	}
 }
 
@@ -155,6 +176,12 @@ func (n *Node) registerGauges() {
 			p = 100
 		}
 		return p
+	})
+	reg.GaugeFunc("dco_live_load_milli", func() float64 {
+		return float64(n.pace.loadMilli())
+	})
+	reg.GaugeFunc("dco_live_admit_queue_depth", func() float64 {
+		return float64(n.pace.queueDepth())
 	})
 	reg.GaugeFunc("dco_live_index_entries", func() float64 {
 		n.mu.Lock()

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -45,10 +46,44 @@ type Config struct {
 	LookupWait         time.Duration // server-side pending-queue wait per lookup
 	CallTimeout        time.Duration
 	FetchWorkers       int
-	MaxServeConcurrent int // provider-side admission limit
+	MaxServeConcurrent int // provider-side admission limit (feeds the default AdmitQueue)
 
-	// UpBps is advertised in inserts (paper Fig. 3's bandwidth column).
+	// UpBps is advertised in inserts (paper Fig. 3's bandwidth column) and
+	// — since the admission layer — enforced on the chunk serve path: a
+	// token-bucket pacer serializes outgoing chunk bytes against this
+	// budget. <= 0 disables pacing (serve at line rate).
 	UpBps int64
+
+	// AdmitQueue bounds how many admitted chunk serves may wait out their
+	// pace delay at once; requests beyond it are shed with Busy +
+	// RetryAfterMs. 0 derives 2 x MaxServeConcurrent.
+	AdmitQueue int
+
+	// AdmitBurst is the pacer's burst allowance in bytes — how far ahead
+	// of the steady-state budget a serve burst may run. 0 derives
+	// max(4 chunks, 250ms of UpBps).
+	AdmitBurst int64
+
+	// AdmitMaxWait caps how long one admitted serve may be queued behind
+	// the pacer regardless of the requester's declared patience, so a
+	// slow-draining backlog cannot hold transport goroutines for whole
+	// call timeouts. 0 derives 600ms.
+	AdmitMaxWait time.Duration
+
+	// FetchDeadlineChunks is a viewer's playback horizon in chunk periods:
+	// a chunk not acquired within Channel.Period x this depth is abandoned
+	// (counted and traced) instead of retried forever, so fetch workers
+	// can never wedge on a permanently lost chunk. 0 disables deadlines
+	// (fetch retries until the node closes — the pre-overload-control
+	// behavior, fine for bounded archival pulls).
+	FetchDeadlineChunks int
+
+	// LoadReport piggybacks this node's upload load factor on republish
+	// Inserts and every ChunkResp, which is what lets coordinators do
+	// capacity-weighted provider selection and viewers prefer the
+	// least-loaded provider. Disabling it reports 0 everywhere (selection
+	// degrades to fair rotation).
+	LoadReport bool
 
 	// RepublishEvery re-inserts a few of this node's chunk indices (DHT
 	// soft state): a coordinator that dies abruptly takes its index table
@@ -139,6 +174,9 @@ func DefaultNodeConfig() Config {
 		FetchWorkers:       3,
 		MaxServeConcurrent: 8,
 		UpBps:              10_000_000,
+		AdmitQueue:         16,
+		AdmitMaxWait:       600 * time.Millisecond,
+		LoadReport:         true,
 		RepublishEvery:     time.Second,
 		RepublishBatch:     4,
 		Replicas:           2,
@@ -166,10 +204,26 @@ type Node struct {
 	index      map[int64]*indexEntry
 	latestGen  int64 // source: newest generated seq
 
-	serveSem        chan struct{}
 	republishCursor uint64
 	retrier         *retry.Retrier
 	blacklist       map[string]time.Time // failing providers, cooling down
+
+	// pace is the upload admission pacer enforcing UpBps on the chunk
+	// serve path (admission.go). Always non-nil; unlimited when UpBps <= 0.
+	pace *pacer
+
+	// jitter seeds the viewer-side backoff randomization for Busy nacks
+	// (RetryAfterMs honoring); guarded by jitterMu, seeded like the retrier
+	// so equal seeds give equal schedules.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// provLoad caches the freshest load factor heard from each provider
+	// (piggybacked on ChunkResps), so fetches prefer the least-loaded
+	// provider among a lookup answer. Guarded by provLoadMu, not n.mu —
+	// it is touched on every fetch.
+	provLoadMu sync.Mutex
+	provLoad   map[string]provLoadRec
 
 	// Replication state (replication.go): ops accepted but not yet
 	// flushed to the replica set, and the slices of other owners' indices
@@ -197,6 +251,13 @@ type Stats struct {
 	ChunksFetched  uint64
 	FetchRetries   uint64
 	BusyRejections uint64
+	// Overload-control counters.
+	ChunksMissed      uint64 // GetChunk for a seq this node has not buffered
+	ChunksShedBusy    uint64 // serves turned away by the admission pacer (= BusyRejections)
+	ChunksAbandoned   uint64 // fetches given up past their playback horizon
+	BusyNacksSeen     uint64 // Busy responses this node's fetches received
+	BusyNacksHintless uint64 // of those, responses carrying no RetryAfterMs hint (should be 0)
+	PacedServes       uint64 // serves that waited out a pace delay before sending
 	// Resilience-layer counters.
 	CallRetries          uint64 // RPC attempts beyond each op's first try
 	BreakerOpens         uint64 // circuit transitions to open
@@ -217,12 +278,21 @@ type Stats struct {
 }
 
 // provRec is one provider registration in an index entry: the provider's
-// identity plus its advertised upload bandwidth and lease deadline (zero
+// identity plus its advertised upload bandwidth, its freshest load report
+// (thousandths; refreshed by republish Inserts) and lease deadline (zero
 // deadline = no lease, the registration lives until unregistered).
 type provRec struct {
-	ent    wire.Entry
-	upBps  int64
-	expire time.Time
+	ent       wire.Entry
+	upBps     int64
+	loadMilli uint32
+	expire    time.Time
+}
+
+// provLoadRec is a viewer-side cache row: the load factor last heard from
+// a provider (any ChunkResp carries one) and when it was heard.
+type provLoadRec struct {
+	loadMilli uint32
+	at        time.Time
 }
 
 type indexEntry struct {
@@ -301,14 +371,35 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	if cfg.MaxServeConcurrent <= 0 {
 		cfg.MaxServeConcurrent = 8
 	}
+	if cfg.AdmitQueue <= 0 {
+		cfg.AdmitQueue = 2 * cfg.MaxServeConcurrent
+	}
+	if cfg.AdmitMaxWait <= 0 {
+		cfg.AdmitMaxWait = 600 * time.Millisecond
+	}
+	burst := cfg.AdmitBurst
+	if burst <= 0 {
+		// Default burst: a few chunks of slack or a quarter-second of the
+		// budget, whichever is larger — enough to absorb a startup spike
+		// without defeating the steady-state cap.
+		chunkBytes := cfg.Channel.ChunkBits / 8
+		if chunkBytes < 1 {
+			chunkBytes = 1
+		}
+		burst = 4 * chunkBytes
+		if quarter := cfg.UpBps / 8 / 4; quarter > burst {
+			burst = quarter
+		}
+	}
 	n := &Node{
 		cfg:        cfg,
 		chunks:     make(map[int64][]byte),
 		registered: make(map[int64]bool),
 		index:      make(map[int64]*indexEntry),
 		replicas:   make(map[string]*replicaSet),
-		serveSem:   make(chan struct{}, cfg.MaxServeConcurrent),
 		blacklist:  make(map[string]time.Time),
+		provLoad:   make(map[string]provLoadRec),
+		pace:       newPacer(cfg.UpBps, burst, cfg.AdmitQueue),
 		closed:     make(chan struct{}),
 		latestGen:  -1,
 	}
@@ -325,6 +416,7 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		seed = int64(uint64(self.ID))
 	}
 	n.retrier = retry.New(cfg.Retry, retry.NewBreaker(cfg.Breaker), seed)
+	n.jitter = rand.New(rand.NewSource(seed ^ 0x6a69747465726a69)) // distinct stream from the retrier's
 	n.lm = newLiveMetrics(cfg.Telemetry, cfg.Trace)
 	n.registerGauges()
 	n.hookResilience()
@@ -351,6 +443,12 @@ func (n *Node) Stats() Stats {
 		ChunksFetched:        n.lm.chunksFetched.Value(),
 		FetchRetries:         n.lm.fetchRetries.Value(),
 		BusyRejections:       n.lm.busyRejections.Value(),
+		ChunksMissed:         n.lm.chunksMissed.Value(),
+		ChunksShedBusy:       n.lm.busyRejections.Value(),
+		ChunksAbandoned:      n.lm.chunksAbandoned.Value(),
+		BusyNacksSeen:        n.lm.busyNacks.Value(),
+		BusyNacksHintless:    n.lm.busyNacksHintless.Value(),
+		PacedServes:          n.lm.pacedServes.Value(),
 		CallRetries:          n.retrier.Retries(),
 		BreakerOpens:         n.retrier.Breaker().Opens(),
 		LookupFailovers:      n.lm.lookupFailovers.Value(),

@@ -126,11 +126,9 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 			n.promoteReplicaSeqLocked(m.Key, m.Seq, e)
 		}
 		if len(e.providers) > 0 {
-			resp := &wire.LookupResp{Seq: m.Seq}
-			for i := 0; i < len(e.providers) && i < 3; i++ {
-				resp.Providers = append(resp.Providers, e.providers[(e.rr+i)%len(e.providers)].ent)
-			}
-			e.rr = (e.rr + 1) % len(e.providers)
+			// Capacity-weighted selection (admission.go): skip saturated
+			// providers, rotate through the low-load cohort.
+			resp := &wire.LookupResp{Seq: m.Seq, Providers: e.selectLocked(3)}
 			n.mu.Unlock()
 			return resp
 		}
@@ -184,14 +182,16 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	for i := range e.providers {
 		if e.providers[i].ent.Addr == m.Holder.Addr {
 			// Re-insert of a known provider: republication is the lease
-			// heartbeat, so refresh rather than duplicate.
+			// heartbeat, so refresh rather than duplicate. The piggybacked
+			// load report keeps selection current between republishes.
 			e.providers[i].expire = expire
 			e.providers[i].upBps = m.UpBps
+			e.providers[i].loadMilli = m.LoadMilli
 			n.enqueueReplicaLocked(m.Key, m.Seq, m.Holder, m.UpBps, expire, false)
 			return &wire.Ack{}
 		}
 	}
-	e.providers = append(e.providers, provRec{ent: m.Holder, upBps: m.UpBps, expire: expire})
+	e.providers = append(e.providers, provRec{ent: m.Holder, upBps: m.UpBps, loadMilli: m.LoadMilli, expire: expire})
 	e.wakeLocked() // release pending lookups
 	n.enqueueReplicaLocked(m.Key, m.Seq, m.Holder, m.UpBps, expire, false)
 	return &wire.Ack{}
@@ -199,22 +199,52 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 
 func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
 	// The serve path counts with lock-free atomics: the only n.mu hold is
-	// the unavoidable chunk-map read.
-	select {
-	case n.serveSem <- struct{}{}:
-	default:
-		n.lm.busyRejections.Inc()
-		return &wire.ChunkResp{Seq: m.Seq, Busy: true}
-	}
-	defer func() { <-n.serveSem }()
+	// the unavoidable chunk-map read. Everything else is the admission
+	// pipeline (admission.go): miss check first (a miss costs no upload
+	// budget), then reserve the chunk's bytes against the pacer, sleep out
+	// any pace delay, and only then put the bytes on the wire.
 	n.mu.Lock()
 	data, ok := n.chunks[m.Seq]
 	n.mu.Unlock()
-	if ok {
-		n.lm.chunksServed.Inc()
-		n.traceEvent("chunk.serve", seqDetail(m.Seq))
+	if !ok {
+		n.lm.chunksMissed.Inc()
+		n.traceEvent("chunk.miss", seqDetail(m.Seq))
+		return &wire.ChunkResp{Seq: m.Seq, LoadMilli: n.reportLoadMilli()}
 	}
-	return &wire.ChunkResp{Seq: m.Seq, OK: ok, Data: data}
+	// The requester declares its patience; zero (old clients, direct
+	// callers) means "the server's default". Clamp to AdmitMaxWait so a
+	// serve never sleeps past what the caller's RPC timeout can survive.
+	patience := n.cfg.AdmitMaxWait
+	if m.WaitMs > 0 {
+		if p := time.Duration(m.WaitMs) * time.Millisecond; p < patience {
+			patience = p
+		}
+	}
+	wait, retry, admitted := n.pace.admit(len(data), patience)
+	if !admitted {
+		n.lm.busyRejections.Inc()
+		n.traceEvent("chunk.shed", fmt.Sprintf("seq=%d retry=%s", m.Seq, retry))
+		return &wire.ChunkResp{
+			Seq:          m.Seq,
+			Busy:         true,
+			RetryAfterMs: uint32((retry + time.Millisecond - 1) / time.Millisecond),
+			LoadMilli:    n.reportLoadMilli(),
+		}
+	}
+	if wait > 0 {
+		n.lm.pacedServes.Inc()
+		n.lm.serveQueueSeconds.Observe(wait.Seconds())
+		select {
+		case <-time.After(wait):
+			n.pace.release(true)
+		case <-n.closed:
+			n.pace.refund(len(data), true)
+			return &wire.Error{Code: wire.CodeShutdown, Msg: "shutting down"}
+		}
+	}
+	n.lm.chunksServed.Inc()
+	n.traceEvent("chunk.serve", seqDetail(m.Seq))
+	return &wire.ChunkResp{Seq: m.Seq, OK: true, Data: data, LoadMilli: n.reportLoadMilli()}
 }
 
 func (n *Node) onHandoff(m *wire.Handoff) wire.Message {

@@ -182,7 +182,7 @@ func TestTakeoverAfterCoordinatorDeath(t *testing.T) {
 	}
 	var got []wire.Entry
 	waitFor(t, 10*time.Second, "lookup to be answered from the replica", func() bool {
-		providers, err := asker.lookupProviders(key, seq)
+		providers, err := asker.lookupProviders(key, seq, time.Time{})
 		if err != nil {
 			return false
 		}
@@ -263,7 +263,7 @@ func TestGracefulLeaveSurvivesSuccessorDeath(t *testing.T) {
 		asker = remaining[1]
 	}
 	waitFor(t, 10*time.Second, "handed-off entry to survive the heir's death", func() bool {
-		providers, err := asker.lookupProviders(key, seq)
+		providers, err := asker.lookupProviders(key, seq, time.Time{})
 		return err == nil && len(providers) > 0 && providers[0].Addr == prov.Addr()
 	})
 }
@@ -526,7 +526,7 @@ func TestConcurrentJoinsOwnershipTransfer(t *testing.T) {
 			if err != nil || owner.Addr != wantOwner.Addr() {
 				return false
 			}
-			providers, err := nodes[0].lookupProviders(key, seq)
+			providers, err := nodes[0].lookupProviders(key, seq, time.Time{})
 			if err != nil {
 				return false
 			}

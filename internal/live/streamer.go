@@ -103,6 +103,9 @@ func (n *Node) insertIndex(seq int64) {
 		Holder:   n.wireSelf(),
 		UpBps:    n.cfg.UpBps,
 		BufCount: bufCount,
+		// Piggybacked load report: republication doubles as the load
+		// heartbeat coordinators weight provider selection by.
+		LoadMilli: n.reportLoadMilli(),
 	}
 	for attempt := 0; attempt < 2; attempt++ {
 		owner, _, _, _, err := n.FindOwner(key)
@@ -166,13 +169,22 @@ func (n *Node) fetchLoop() {
 // coordinator (which may hold the request until a provider registers),
 // fetch from a returned provider, verify, buffer, and re-register as a
 // provider. It retries across providers and routing changes until it
-// succeeds or the node closes: chunk availability is eventually restored
-// by the source's republication, so giving up would orphan the chunk.
+// succeeds, the node closes, or — when FetchDeadlineChunks is set — the
+// chunk's playback horizon passes, at which point the fetch is abandoned
+// (counted, traced) so workers rejoin the live edge instead of wedging on
+// a chunk nobody can serve anymore.
 func (n *Node) FetchChunk(seq int64) error {
 	if n.HasChunk(seq) {
 		return nil
 	}
 	start := time.Now()
+	// Playback horizon: FetchDeadlineChunks periods of buffer depth from
+	// the moment the viewer starts on this chunk. Zero disables deadlines
+	// (fetch-until-success — fine for bounded archival pulls).
+	var deadline time.Time
+	if n.cfg.FetchDeadlineChunks > 0 {
+		deadline = start.Add(time.Duration(n.cfg.FetchDeadlineChunks) * n.cfg.Channel.Period)
+	}
 	key := uint64(n.cfg.Channel.Ref(seq).ID())
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -181,22 +193,30 @@ func (n *Node) FetchChunk(seq int64) error {
 			return fmt.Errorf("live: node closed (last error: %v)", lastErr)
 		default:
 		}
-		providers, err := n.lookupProviders(key, seq)
+		if pastDeadline(deadline) {
+			return n.abandonChunk(seq, lastErr)
+		}
+		providers, err := n.lookupProviders(key, seq, deadline)
 		if err != nil || len(providers) == 0 {
 			lastErr = err
 			n.bumpRetry()
 			continue
 		}
-		for _, pr := range providers {
+		// Prefer the least-loaded provider among the coordinator's answer,
+		// by the freshest load factor heard on previous ChunkResps.
+		for _, pr := range n.orderProvidersByLoad(providers) {
 			if pr.Addr == n.Addr() {
 				continue
 			}
 			// Rotate past providers on cooldown instead of re-asking them;
-			// the coordinator's round-robin supplies alternatives.
+			// the coordinator's rotation supplies alternatives.
 			if !n.providerUsable(pr.Addr) {
 				continue
 			}
-			resp, err := n.call(pr.Addr, &wire.GetChunk{Seq: seq})
+			if pastDeadline(deadline) {
+				return n.abandonChunk(seq, lastErr)
+			}
+			resp, err := n.call(pr.Addr, &wire.GetChunk{Seq: seq, WaitMs: n.fetchPatienceMs(deadline)})
 			if err != nil {
 				// Single-shot by design: a failing provider is blacklisted
 				// for ProviderCooldown and the fetch moves to the next
@@ -207,11 +227,22 @@ func (n *Node) FetchChunk(seq int64) error {
 				continue
 			}
 			cr, ok := resp.(*wire.ChunkResp)
-			if !ok || !cr.OK {
-				if ok && cr.Busy {
-					// Busy is an admission nack from a live provider: back
-					// off briefly but do not blacklist it.
-					time.Sleep(50 * time.Millisecond)
+			if !ok {
+				continue
+			}
+			n.noteProviderLoad(pr.Addr, cr.LoadMilli)
+			if !cr.OK {
+				if cr.Busy {
+					// Busy is an admission nack from a live provider: honor
+					// its RetryAfterMs hint (jittered, so viewers shed
+					// together do not return together) but do not blacklist.
+					n.lm.busyNacks.Inc()
+					if cr.RetryAfterMs == 0 {
+						n.lm.busyNacksHintless.Inc()
+					}
+					if !n.sleepBusy(cr.RetryAfterMs, deadline) {
+						return fmt.Errorf("live: node closed (provider %s busy)", pr.Addr)
+					}
 				}
 				continue
 			}
@@ -227,6 +258,75 @@ func (n *Node) FetchChunk(seq int64) error {
 			return nil
 		}
 		n.bumpRetry()
+	}
+}
+
+// pastDeadline reports whether the playback horizon d has passed (zero d =
+// no deadline).
+func pastDeadline(d time.Time) bool { return !d.IsZero() && time.Now().After(d) }
+
+// abandonChunk gives up on a chunk whose playback horizon passed.
+func (n *Node) abandonChunk(seq int64, lastErr error) error {
+	n.lm.chunksAbandoned.Inc()
+	n.traceEvent("chunk.abandon", seqDetail(seq))
+	return fmt.Errorf("live: chunk %d abandoned past playback horizon (last error: %v)", seq, lastErr)
+}
+
+// fetchPatienceMs is the patience a viewer declares on a GetChunk: the
+// admission queue default, never past the chunk's remaining playback
+// horizon (waiting longer than the horizon buys nothing).
+func (n *Node) fetchPatienceMs(deadline time.Time) uint32 {
+	p := n.cfg.AdmitMaxWait
+	if !deadline.IsZero() {
+		if r := time.Until(deadline); r < p {
+			p = r
+		}
+	}
+	ms := uint32(0)
+	if p > 0 {
+		ms = uint32(p / time.Millisecond)
+	}
+	if ms == 0 && !deadline.IsZero() {
+		ms = 1 // about to abandon; never widen to the server default
+	}
+	return ms
+}
+
+// maxBusySleep caps how long a single Busy hint can park a fetch worker —
+// a provider drowning in backlog may honestly project seconds of delay,
+// but a live viewer is better off re-looking-up for another provider.
+const maxBusySleep = time.Second
+
+// sleepBusy honors a Busy nack's RetryAfterMs hint with +/-25% seeded
+// jitter (decorrelating viewers that were shed together), falling back to
+// a 50ms pause when the provider sent no hint. The sleep never extends
+// past the playback horizon and aborts when the node closes (returns
+// false) — a closing node must never sit out a backoff.
+func (n *Node) sleepBusy(retryAfterMs uint32, deadline time.Time) bool {
+	d := 50 * time.Millisecond
+	if retryAfterMs > 0 {
+		d = time.Duration(retryAfterMs) * time.Millisecond
+	}
+	if d > maxBusySleep {
+		d = maxBusySleep
+	}
+	n.jitterMu.Lock()
+	f := 0.75 + 0.5*n.jitter.Float64()
+	n.jitterMu.Unlock()
+	d = time.Duration(float64(d) * f)
+	if !deadline.IsZero() {
+		if r := time.Until(deadline); r < d {
+			d = r
+		}
+	}
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-n.closed:
+		return false
+	case <-time.After(d):
+		return true
 	}
 }
 
@@ -264,9 +364,21 @@ func (n *Node) providerUsable(addr string) bool {
 // the successor inherits the key range once stabilization settles, so
 // asking it is the fastest route to the surviving index. A not-the-owner
 // rejection means ownership is still moving — re-route and try again.
-func (n *Node) lookupProviders(key uint64, seq int64) ([]wire.Entry, error) {
+// The coordinator-side pending-queue wait is clamped to the remaining
+// playback horizon (zero deadline = no clamp): parking a lookup past the
+// point where the answer is useless just occupies the pending queue.
+func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wire.Entry, error) {
 	start := time.Now()
-	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(n.cfg.LookupWait / time.Millisecond)}
+	maxWait := n.cfg.LookupWait
+	if !deadline.IsZero() {
+		if r := time.Until(deadline); r < maxWait {
+			maxWait = r
+		}
+		if maxWait < 0 {
+			maxWait = 0
+		}
+	}
+	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(maxWait / time.Millisecond)}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {

@@ -20,11 +20,15 @@ func FuzzReadMessage(f *testing.F) {
 		&Notify{From: e}, &Ack{},
 		&Lookup{Key: 2, Seq: 3, MaxWait: 4},
 		&LookupResp{Seq: 3, Providers: []Entry{e}},
-		&Insert{Key: 5, Seq: 6, Holder: e, UpBps: 7, BufCount: 8},
-		&GetChunk{Seq: 9},
-		&ChunkResp{Seq: 10, OK: true, Data: []byte{1, 2}},
+		&Insert{Key: 5, Seq: 6, Holder: e, UpBps: 7, BufCount: 8, LoadMilli: 900},
+		&GetChunk{Seq: 9, WaitMs: 150},
+		&ChunkResp{Seq: 10, OK: true, LoadMilli: 330, Data: []byte{1, 2}},
+		&ChunkResp{Seq: 11, Busy: true, RetryAfterMs: 60, LoadMilli: 1500},
 		&Handoff{Entries: []HandoffEntry{{Key: 1, Seq: 2, Providers: []Entry{e}}}},
 		&Leave{From: e, NewSucc: []Entry{e}},
+		&ReplicateBatch{Owner: e, Ops: []ReplicaOp{{Key: 1, Seq: 2, Holder: e, UpBps: 3, TTLMillis: 4}}},
+		&DigestReq{Owner: e, Digests: []SeqDigest{{Key: 1, Seq: 2, Hash: 3}}},
+		&DigestResp{Need: []int64{5}},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

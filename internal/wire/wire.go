@@ -170,25 +170,42 @@ type LookupResp struct {
 }
 
 // Insert registers (or withdraws) a chunk index with its coordinator.
+// LoadMilli is the holder's upload load factor in thousandths (0 = idle,
+// 1000 = the advertised UpBps is fully committed, >1000 = backlog beyond
+// the budget); republish Inserts piggyback it so coordinators keep a
+// recent load report per provider and can answer Lookups with nodes that
+// actually have spare capacity (the paper's "sufficient bandwidth" rule).
 type Insert struct {
 	Key        uint64
 	Seq        int64
 	Holder     Entry
 	UpBps      int64
 	BufCount   int64
+	LoadMilli  uint32
 	Unregister bool
 }
 
-// GetChunk requests chunk data from a provider.
-type GetChunk struct{ Seq int64 }
+// GetChunk requests chunk data from a provider. WaitMs is how long the
+// requester is willing to be queued behind the provider's upload pacer
+// before it would rather take a Busy nack and try elsewhere (0 = serve
+// immediately or shed).
+type GetChunk struct {
+	Seq    int64
+	WaitMs uint32
+}
 
 // ChunkResp returns chunk data; OK=false means the provider lacks it (or
-// turned the request away).
+// turned the request away). Every response carries LoadMilli, the
+// provider's current upload load factor in thousandths; Busy sheds also
+// carry RetryAfterMs, the provider's estimate of when its pacer could
+// admit the transfer (always nonzero on a shed).
 type ChunkResp struct {
-	Seq  int64
-	OK   bool
-	Busy bool
-	Data []byte
+	Seq          int64
+	OK           bool
+	Busy         bool
+	RetryAfterMs uint32
+	LoadMilli    uint32
+	Data         []byte
 }
 
 // HandoffEntry is one chunk's index rows in a Handoff.
@@ -608,6 +625,7 @@ func (m *Insert) encode(b []byte) []byte {
 	b = putEntry(b, m.Holder)
 	b = putI64(b, m.UpBps)
 	b = putI64(b, m.BufCount)
+	b = putU32(b, m.LoadMilli)
 	return putBool(b, m.Unregister)
 }
 func (m *Insert) decode(r *reader) error {
@@ -616,25 +634,37 @@ func (m *Insert) decode(r *reader) error {
 	m.Holder = r.entry()
 	m.UpBps = r.i64()
 	m.BufCount = r.i64()
+	m.LoadMilli = r.u32()
 	m.Unregister = r.boolean()
 	return r.err
 }
 
-func (m *GetChunk) Kind() Kind             { return KindGetChunk }
-func (m *GetChunk) encode(b []byte) []byte { return putI64(b, m.Seq) }
-func (m *GetChunk) decode(r *reader) error { m.Seq = r.i64(); return r.err }
+func (m *GetChunk) Kind() Kind { return KindGetChunk }
+func (m *GetChunk) encode(b []byte) []byte {
+	b = putI64(b, m.Seq)
+	return putU32(b, m.WaitMs)
+}
+func (m *GetChunk) decode(r *reader) error {
+	m.Seq = r.i64()
+	m.WaitMs = r.u32()
+	return r.err
+}
 
 func (m *ChunkResp) Kind() Kind { return KindChunkResp }
 func (m *ChunkResp) encode(b []byte) []byte {
 	b = putI64(b, m.Seq)
 	b = putBool(b, m.OK)
 	b = putBool(b, m.Busy)
+	b = putU32(b, m.RetryAfterMs)
+	b = putU32(b, m.LoadMilli)
 	return putBytes(b, m.Data)
 }
 func (m *ChunkResp) decode(r *reader) error {
 	m.Seq = r.i64()
 	m.OK = r.boolean()
 	m.Busy = r.boolean()
+	m.RetryAfterMs = r.u32()
+	m.LoadMilli = r.u32()
 	m.Data = append([]byte(nil), r.bytes()...)
 	return r.err
 }

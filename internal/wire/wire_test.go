@@ -41,9 +41,13 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&LookupResp{Seq: 9, Providers: []Entry{e1, e2}},
 		&LookupResp{Seq: 9},
 		&Insert{Key: 1, Seq: 2, Holder: e1, UpBps: 600000, BufCount: 10, Unregister: true},
+		&Insert{Key: 1, Seq: 2, Holder: e2, UpBps: 600000, BufCount: 10, LoadMilli: 850},
 		&GetChunk{Seq: 123456789},
+		&GetChunk{Seq: 3, WaitMs: 250},
 		&ChunkResp{Seq: 5, OK: true, Data: []byte{1, 2, 3}},
+		&ChunkResp{Seq: 5, OK: true, LoadMilli: 420, Data: []byte{9}},
 		&ChunkResp{Seq: 5, Busy: true},
+		&ChunkResp{Seq: 6, Busy: true, RetryAfterMs: 40, LoadMilli: 2250},
 		&Handoff{Entries: []HandoffEntry{{Key: 1, Seq: 2, Providers: []Entry{e1}}, {Key: 3, Seq: 4}}},
 		&Leave{From: e1, NewPred: e2, PredOK: true, NewSucc: []Entry{e1}},
 		&Leave{From: e2},
@@ -62,6 +66,27 @@ func TestRoundTripAllKinds(t *testing.T) {
 		if !reflect.DeepEqual(m, got) {
 			t.Errorf("%T round-trip mismatch:\n  sent %#v\n  got  %#v", m, m, got)
 		}
+	}
+}
+
+// TestBusyNackRoundTrip pins the overload-control contract on the wire: a
+// Busy shed keeps its RetryAfterMs hint and load factor across encoding,
+// carries no payload, and stays distinguishable from a plain miss.
+func TestBusyNackRoundTrip(t *testing.T) {
+	shed := &ChunkResp{Seq: 77, Busy: true, RetryAfterMs: 125, LoadMilli: 1800}
+	got := roundTrip(t, shed).(*ChunkResp)
+	if !got.Busy || got.OK {
+		t.Fatalf("busy nack flags mutated: %#v", got)
+	}
+	if got.RetryAfterMs != 125 || got.LoadMilli != 1800 {
+		t.Fatalf("busy nack lost its hints: retry=%d load=%d", got.RetryAfterMs, got.LoadMilli)
+	}
+	if len(got.Data) != 0 {
+		t.Fatalf("busy nack grew a payload: %d bytes", len(got.Data))
+	}
+	miss := roundTrip(t, &ChunkResp{Seq: 77, LoadMilli: 300}).(*ChunkResp)
+	if miss.Busy || miss.OK || miss.RetryAfterMs != 0 {
+		t.Fatalf("miss response mutated: %#v", miss)
 	}
 }
 
