@@ -74,6 +74,12 @@ func main() {
 		antiEntropy = flag.Duration("antientropy-every", 3*time.Second, "digest-exchange period repairing replicas that missed batches")
 		indexTTL    = flag.Duration("index-ttl", 45*time.Second, "provider lease in the chunk index; republishes refresh it (0 disables expiry)")
 
+		// Ring census & split-brain merge (see DESIGN.md, "Partitions &
+		// ring merge").
+		censusEvery  = flag.Duration("census-every", 2*time.Second, "ring-census period probing cached members outside the ring view (0 disables split-brain detection)")
+		censusProbes = flag.Int("census-probes", 2, "cached members probed per census round")
+		memberCache  = flag.Int("member-cache", 128, "bounded cache of previously-seen ring members feeding the census")
+
 		// Fault injection (testing/chaos drills; off by default).
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		faultDrop     = flag.Float64("fault-drop", 0, "probability a call is dropped (0 disables)")
@@ -81,6 +87,7 @@ func main() {
 		faultDup      = flag.Float64("fault-dup", 0, "probability a call is delivered twice")
 		faultDelay    = flag.Float64("fault-delay", 0, "probability a call is delayed")
 		faultMaxDelay = flag.Duration("fault-max-delay", 200*time.Millisecond, "upper bound for injected delays")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "probability a delivered chunk payload has one byte flipped")
 	)
 	flag.Parse()
 
@@ -111,6 +118,9 @@ func main() {
 	cfg.ReplicateEvery = *replEvery
 	cfg.AntiEntropyEvery = *antiEntropy
 	cfg.IndexTTL = *indexTTL
+	cfg.CensusEvery = *censusEvery
+	cfg.CensusProbes = *censusProbes
+	cfg.MemberCacheSize = *memberCache
 
 	// One registry + trace per process: the node, the transport and the
 	// exposition server all share it.
@@ -129,7 +139,7 @@ func main() {
 	}
 
 	var inj *faulty.Injector
-	if *faultDrop > 0 || *faultRefuse > 0 || *faultDup > 0 || *faultDelay > 0 {
+	if *faultDrop > 0 || *faultRefuse > 0 || *faultDup > 0 || *faultDelay > 0 || *faultCorrupt > 0 {
 		inj = faulty.NewInjector(*faultSeed)
 		inj.SetDefaultRule(faulty.Rule{
 			Drop:      *faultDrop,
@@ -137,6 +147,7 @@ func main() {
 			Duplicate: *faultDup,
 			Delay:     *faultDelay,
 			DelayBy:   *faultMaxDelay,
+			Corrupt:   *faultCorrupt,
 		})
 	}
 

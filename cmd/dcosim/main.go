@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -55,6 +55,12 @@ func main() {
 	if *method == "flashcrowd" {
 		// Also the real node stack: the admission-control stress scenario.
 		runFlashCrowd(*n, *chunks, *srcUpBps, *jsonOut)
+		return
+	}
+	if *method == "splitbrain" {
+		// Also the real node stack: partition the swarm mid-stream, heal,
+		// and measure the census-driven ring merge and fill recovery.
+		runSplitBrain(*n, *chunks, *seed, *jsonOut)
 		return
 	}
 

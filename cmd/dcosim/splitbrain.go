@@ -1,0 +1,233 @@
+package main
+
+// The "splitbrain" method benchmarks split-brain detection and ring merge
+// on the real node stack: a streaming swarm is bisected by a seeded
+// network partition until both halves converge into self-consistent
+// rings, then healed. The run measures how long the census takes to merge
+// the halves back into a single ring — with no manual rejoin anywhere —
+// and whether the data plane fully recovers afterward (no exhausted
+// lookups post-merge, fill ratio back at 1). This is what BENCH_PR5.json
+// is generated from.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/live"
+	"dco/internal/retry"
+	"dco/internal/transport"
+)
+
+// splitResult is the -json schema of a splitbrain run. Field names are
+// stable — BENCH_PR5.json and CI trend checks parse them.
+type splitResult struct {
+	Method         string  `json:"method"`
+	N              int     `json:"n"`
+	Chunks         int64   `json:"chunks"`
+	Seed           int64   `json:"seed"`
+	CensusEveryMs  int64   `json:"census_every_ms"`
+	SplitSeconds   float64 `json:"split_seconds"`              // partition start → both halves converged
+	MergeSeconds   float64 `json:"merge_seconds"`              // heal → single ring again
+	CensusRounds   int64   `json:"census_rounds"`              // merge time in census periods (ceil)
+	SplitsDetected uint64  `json:"splits_detected"`            // confirmed detections across the swarm
+	RingMerges     uint64  `json:"ring_merges"`                // completed merge protocols
+	PostMergeFails uint64  `json:"post_merge_lookup_failures"` // exhausted lookups after the merge (want 0)
+	FillRatioMin   float64 `json:"fill_ratio_min"`             // min over viewers at the end (want >= 0.99)
+	WallSeconds    float64 `json:"wall_seconds"`
+}
+
+// singleRing reports whether every node's successor is its true clockwise
+// neighbor in the sorted membership — the only check that distinguishes
+// one ring from two internally-consistent ones.
+func singleRing(nodes []*live.Node) bool {
+	sorted := append([]*live.Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	for i, nd := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		if _, succ := nd.Successor(); succ != next.Addr() {
+			return false
+		}
+	}
+	return true
+}
+
+// runSplitBrain executes the split-brain benchmark and exits the process.
+func runSplitBrain(n int, chunks, seed int64, jsonOut string) {
+	const censusEvery = 100 * time.Millisecond
+	cfg := live.DefaultNodeConfig()
+	cfg.Channel.Period = 100 * time.Millisecond
+	cfg.Channel.ChunkBits = 8 * 1024
+	cfg.Channel.Count = chunks
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 500 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	cfg.RepublishEvery = 500 * time.Millisecond
+	cfg.Replicas = 2
+	cfg.Retry = retry.Policy{
+		MaxAttempts:    3,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.5,
+		Budget:         time.Second,
+	}
+	cfg.Breaker = retry.BreakerConfig{Threshold: 5, Cooldown: 500 * time.Millisecond}
+	cfg.ProviderCooldown = 400 * time.Millisecond
+	cfg.CensusEvery = censusEvery
+	cfg.CensusProbes = 2
+
+	f := transport.NewFabric()
+	in := faulty.NewInjector(uint64(seed))
+	attach := func(h transport.Handler) (transport.Transport, error) {
+		return in.Wrap(f.Attach(h)), nil
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dcosim: splitbrain: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	srcCfg := cfg
+	srcCfg.Source = true
+	src, err := live.NewNode(srcCfg, attach)
+	if err != nil {
+		fail("%v", err)
+	}
+	viewers := make([]*live.Node, 0, n-1)
+	for i := 1; i < n; i++ {
+		nd, err := live.NewNode(cfg, attach)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			fail("join: %v", err)
+		}
+		viewers = append(viewers, nd)
+	}
+	all := append([]*live.Node{src}, viewers...)
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+	src.Start()
+	for _, nd := range viewers {
+		nd.Start()
+	}
+	start := time.Now()
+
+	poll := func(d time.Duration, what string, cond func() bool) {
+		deadline := time.Now().Add(d)
+		for !cond() {
+			if time.Now().After(deadline) {
+				fail("timeout waiting for %s", what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	poll(30*time.Second, "the initial ring to converge", func() bool { return singleRing(all) })
+
+	// Bisect mid-stream: the source and half the viewers on one side, the
+	// rest on the other. Addresses are fixed, so the same seed cuts the
+	// same halves.
+	var groupA, groupB []string
+	var sideA, sideB []*live.Node
+	for i, nd := range all {
+		if i%2 == 0 {
+			groupA = append(groupA, nd.Addr())
+			sideA = append(sideA, nd)
+		} else {
+			groupB = append(groupB, nd.Addr())
+			sideB = append(sideB, nd)
+		}
+	}
+	splitStart := time.Now()
+	in.Partition(groupA, groupB)
+	poll(60*time.Second, "both halves to converge into their own rings", func() bool {
+		return singleRing(sideA) && singleRing(sideB)
+	})
+	splitDur := time.Since(splitStart)
+
+	// Heal and measure the census-driven merge. Nothing calls Join from
+	// here on: detection, confirmation, table folding, and the stabilize
+	// cascade must reunify the ring on their own.
+	healAt := time.Now()
+	in.Heal()
+	poll(60*time.Second, "the census to merge the rings after the heal", func() bool {
+		return singleRing(all)
+	})
+	mergeDur := time.Since(healAt)
+
+	// Let in-flight pre-merge lookups drain, then count exhausted lookups
+	// from here to the end of the run: the merged ring must not lose any.
+	time.Sleep(time.Second)
+	var failsBefore uint64
+	for _, nd := range all {
+		failsBefore += nd.Stats().LookupFailures
+	}
+
+	// Fill recovery: the half cut off from the source catches up on the
+	// full stream through the reunified ring.
+	poll(3*time.Minute, "all viewers to recover the full stream", func() bool {
+		for _, v := range viewers {
+			if int64(v.ChunkCount()) < chunks {
+				return false
+			}
+		}
+		return true
+	})
+	if !singleRing(all) {
+		fail("ring did not stay single after the merge")
+	}
+
+	res := splitResult{
+		Method:        "splitbrain",
+		N:             n,
+		Chunks:        chunks,
+		Seed:          seed,
+		CensusEveryMs: censusEvery.Milliseconds(),
+		SplitSeconds:  splitDur.Seconds(),
+		MergeSeconds:  mergeDur.Seconds(),
+		CensusRounds:  int64((mergeDur + censusEvery - 1) / censusEvery),
+		WallSeconds:   time.Since(start).Seconds(),
+		FillRatioMin:  1,
+	}
+	for _, nd := range all {
+		st := nd.Stats()
+		res.SplitsDetected += st.SplitsDetected
+		res.RingMerges += st.RingMerges
+		res.PostMergeFails += st.LookupFailures
+	}
+	res.PostMergeFails -= failsBefore
+	for _, v := range viewers {
+		r := float64(v.ChunkCount()) / float64(chunks)
+		if r > 1 {
+			r = 1
+		}
+		if r < res.FillRatioMin {
+			res.FillRatioMin = r
+		}
+	}
+
+	fmt.Printf("method=splitbrain n=%d chunks=%d seed=%d\n", n, chunks, seed)
+	fmt.Printf("partition converged in:  %v (two rings)\n", splitDur.Round(time.Millisecond))
+	fmt.Printf("merge after heal:        %v (%d census rounds)\n", mergeDur.Round(time.Millisecond), res.CensusRounds)
+	fmt.Printf("splits detected:         %d (merges completed: %d)\n", res.SplitsDetected, res.RingMerges)
+	fmt.Printf("post-merge lookup fails: %d\n", res.PostMergeFails)
+	fmt.Printf("fill ratio (min viewer): %.3f\n", res.FillRatioMin)
+	fmt.Printf("wall time:               %v\n", time.Duration(res.WallSeconds*float64(time.Second)).Round(time.Millisecond))
+
+	if jsonOut != "" {
+		if err := writeJSONAny(jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.SplitsDetected == 0 || res.RingMerges == 0 || res.PostMergeFails > 0 || res.FillRatioMin < 0.99 {
+		os.Exit(1)
+	}
+}

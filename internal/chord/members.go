@@ -1,0 +1,95 @@
+package chord
+
+import (
+	"sort"
+	"time"
+)
+
+// MemberCache is a bounded memory of previously-seen ring members, kept
+// beside (not inside) a node's routing tables. Chord's own tables forget a
+// peer the moment it is purged, which is correct for failure handling but
+// fatal for partitions: after a network split heals, stabilization alone can
+// never re-merge two self-consistent rings because neither side retains any
+// pointer into the other. The cache deliberately keeps condemned members —
+// an unreachable entry is exactly the breadcrumb the ring census needs to
+// rediscover the other half once the partition heals.
+//
+// Like State, it is pure local bookkeeping with no I/O and no locking; the
+// caller (internal/live) guards it with the node's mutex and feeds it
+// passively from successor lists, lookups, and replication traffic.
+type MemberCache[A comparable] struct {
+	self A
+	cap  int
+	recs map[A]*memberRec[A]
+}
+
+type memberRec[A comparable] struct {
+	ent  Entry[A]
+	seen time.Time
+}
+
+// NewMemberCache builds a cache that never stores self and holds at most
+// capacity entries (oldest last-seen evicted first).
+func NewMemberCache[A comparable](self A, capacity int) *MemberCache[A] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MemberCache[A]{self: self, cap: capacity, recs: make(map[A]*memberRec[A])}
+}
+
+// Cap returns the configured capacity.
+func (c *MemberCache[A]) Cap() int { return c.cap }
+
+// Len returns the number of cached members.
+func (c *MemberCache[A]) Len() int { return len(c.recs) }
+
+// Note records (or refreshes) a sighting of e at time now. Entries dedupe
+// by address — a re-noted member updates its ID and last-seen stamp instead
+// of growing the cache. When the cache is full the member with the oldest
+// sighting is evicted to make room.
+func (c *MemberCache[A]) Note(e Entry[A], now time.Time) {
+	if !e.OK || e.Addr == c.self {
+		return
+	}
+	if rec, ok := c.recs[e.Addr]; ok {
+		rec.ent = e
+		if now.After(rec.seen) {
+			rec.seen = now
+		}
+		return
+	}
+	if len(c.recs) >= c.cap {
+		c.evictOldest()
+	}
+	c.recs[e.Addr] = &memberRec[A]{ent: e, seen: now}
+}
+
+func (c *MemberCache[A]) evictOldest() {
+	var victim A
+	var oldest time.Time
+	first := true
+	for addr, rec := range c.recs {
+		if first || rec.seen.Before(oldest) {
+			victim, oldest, first = addr, rec.seen, false
+		}
+	}
+	if !first {
+		delete(c.recs, victim)
+	}
+}
+
+// Forget drops addr from the cache. Used when a member departs for good
+// (graceful leave) — abrupt failures are deliberately NOT forgotten, since
+// an unreachable member may just be on the far side of a partition.
+func (c *MemberCache[A]) Forget(addr A) { delete(c.recs, addr) }
+
+// Members returns the cached entries sorted by ring ID (deterministic
+// iteration for probe rotation and tests).
+func (c *MemberCache[A]) Members() []Entry[A] {
+	out := make([]Entry[A], 0, len(c.recs))
+	for _, rec := range c.recs {
+		out = append(out, rec.ent)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,89 @@
+package chord
+
+import (
+	"testing"
+	"time"
+)
+
+func at(s int) time.Time { return time.Unix(int64(s), 0) }
+
+func TestMemberCacheNeverStoresSelf(t *testing.T) {
+	c := NewMemberCache(1, 4)
+	c.Note(e(100, 1), at(0)) // addr 1 == self
+	c.Note(Entry[int]{ID: 5, Addr: 9}, at(0))
+	if c.Len() != 0 {
+		t.Fatalf("cache stored self or a !OK entry: len=%d", c.Len())
+	}
+}
+
+func TestMemberCacheDedupesByAddr(t *testing.T) {
+	c := NewMemberCache(1, 4)
+	c.Note(e(100, 2), at(1))
+	c.Note(e(100, 2), at(2))
+	c.Note(e(777, 2), at(3)) // same addr, new ID: refresh, not grow
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	m := c.Members()
+	if len(m) != 1 || m[0].ID != 777 {
+		t.Fatalf("members = %v, want single entry with refreshed ID 777", m)
+	}
+}
+
+func TestMemberCacheEvictsOldestSeen(t *testing.T) {
+	c := NewMemberCache(1, 3)
+	c.Note(e(10, 2), at(10))
+	c.Note(e(20, 3), at(20))
+	c.Note(e(30, 4), at(30))
+	// Refresh the oldest so it is no longer the eviction victim.
+	c.Note(e(10, 2), at(40))
+	// Insert beyond capacity: addr 3 (seen at 20) must go.
+	c.Note(e(50, 5), at(50))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", c.Len())
+	}
+	for _, m := range c.Members() {
+		if m.Addr == 3 {
+			t.Fatal("oldest-seen member (addr 3) survived eviction")
+		}
+	}
+	// The refreshed member must have survived.
+	found := false
+	for _, m := range c.Members() {
+		if m.Addr == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("refreshed member (addr 2) was evicted despite newest sighting")
+	}
+}
+
+func TestMemberCacheMembersSortedByID(t *testing.T) {
+	c := NewMemberCache(1, 8)
+	for _, m := range []Entry[int]{e(300, 2), e(100, 3), e(200, 4)} {
+		c.Note(m, at(0))
+	}
+	got := c.Members()
+	if len(got) != 3 || got[0].ID != 100 || got[1].ID != 200 || got[2].ID != 300 {
+		t.Fatalf("members not sorted by ID: %v", got)
+	}
+}
+
+func TestMemberCacheForget(t *testing.T) {
+	c := NewMemberCache(1, 4)
+	c.Note(e(10, 2), at(0))
+	c.Forget(2)
+	if c.Len() != 0 {
+		t.Fatalf("len after Forget = %d, want 0", c.Len())
+	}
+}
+
+func TestMemberCacheCapFloor(t *testing.T) {
+	c := NewMemberCache(1, 0)
+	c.Note(e(10, 2), at(0))
+	c.Note(e(20, 3), at(1))
+	if c.Len() != 1 {
+		t.Fatalf("capacity floor of 1 not enforced: len=%d", c.Len())
+	}
+}

@@ -149,6 +149,33 @@ func (s *State[A]) Notify(candidate Entry[A]) bool {
 	return false
 }
 
+// MergeCandidate folds a member discovered outside normal stabilization —
+// census probes, ring-merge traffic — into this node's view. It applies only
+// the two monotone Chord repairs: adopt the candidate as successor when it
+// tightens (self, successor), and as predecessor under the standard Notify
+// rule. Monotonicity is what makes concurrent merges safe: both operations
+// only ever shrink their interval toward self, so two detectors merging two
+// halves simultaneously can race but never oscillate — repeated application
+// reaches a fixpoint. A candidate that tightens nothing is a no-op here
+// (the caller's member cache remembers it). On a ring of one, any candidate
+// becomes the successor: this is the lone-node re-bootstrap step.
+// Returns true if the successor or predecessor changed.
+func (s *State[A]) MergeCandidate(e Entry[A]) bool {
+	if !e.OK || e.Addr == s.Self.Addr {
+		return false
+	}
+	changed := false
+	succ := s.Successor()
+	if succ.Addr == s.Self.Addr || InOO(s.Self.ID, e.ID, succ.ID) {
+		s.SetSuccessor(e)
+		changed = true
+	}
+	if s.Notify(e) {
+		changed = true
+	}
+	return changed
+}
+
 // OwnsKey reports whether this node is the owner (the paper's "owner of the
 // ID"): the key lies in (predecessor, self]. With no known predecessor a
 // node conservatively claims the key; stabilization corrects transients.

@@ -10,8 +10,9 @@
 // Supported faults: message drop (surfaces as a transport error, the
 // compressed form of a timeout), connection refused, added delay,
 // duplicate delivery (the request is served twice — exercising handler
-// idempotency), and partition sets that cut groups of addresses off from
-// each other.
+// idempotency), payload corruption (one seeded byte flip in a delivered
+// chunk — exercising checksum verification), and partition sets that cut
+// groups of addresses off from each other.
 package faulty
 
 import (
@@ -26,7 +27,7 @@ import (
 // Rule is the fault mix applied to calls toward one destination (or, as
 // the default rule, toward every destination without a specific rule).
 // Probabilities are independent and checked in the order: refuse, drop,
-// duplicate, delay.
+// duplicate, delay, corrupt.
 type Rule struct {
 	// Refuse is P(call fails instantly, like a connection refused).
 	Refuse float64
@@ -43,6 +44,12 @@ type Rule struct {
 	// DelayBy is the injected latency; the actual delay is uniform in
 	// (0, DelayBy] drawn from the seeded schedule.
 	DelayBy time.Duration
+	// Corrupt is P(a delivered chunk payload has one byte flipped in
+	// flight). Only successful ChunkResp payloads are corruptible — control
+	// messages stay intact, modeling a data-plane bit error rather than a
+	// broken codec. The flipped byte index and XOR mask come from the
+	// seeded schedule, so a corrupted run is exactly reproducible.
+	Corrupt float64
 }
 
 // Action is the outcome chosen for one call.
@@ -56,6 +63,7 @@ const (
 	Duplicated
 	Delayed
 	Partitioned
+	Corrupted
 )
 
 func (a Action) String() string {
@@ -72,6 +80,8 @@ func (a Action) String() string {
 		return "delayed"
 	case Partitioned:
 		return "partitioned"
+	case Corrupted:
+		return "corrupted"
 	default:
 		return "unknown"
 	}
@@ -210,6 +220,8 @@ func (in *Injector) decide(src, dst string) Decision {
 	case roll(in.seed, key, seq, 3) < rule.Delay:
 		d.Action = Delayed
 		d.Delay = time.Duration(roll(in.seed, key, seq, 4) * float64(rule.DelayBy))
+	case roll(in.seed, key, seq, 5) < rule.Corrupt:
+		d.Action = Corrupted
 	}
 
 	in.mu.Lock()
@@ -278,8 +290,37 @@ func (f *faultTransport) Call(addr string, req wire.Message, timeout time.Durati
 		if d.Delay > 0 {
 			time.Sleep(d.Delay)
 		}
+	case Corrupted:
+		resp, err := f.inner.Call(addr, req, timeout)
+		if err != nil {
+			return nil, err
+		}
+		corrupt(f.in.seed, d, resp)
+		return resp, nil
 	}
 	return f.inner.Call(addr, req, timeout)
+}
+
+// corrupt flips one seeded byte of a successful chunk payload in the
+// response. Only *wire.ChunkResp carries a payload; every other message
+// (and empty or failed chunk replies) passes through untouched — the
+// decision still counts as injected, modeling a bit error that happened
+// to hit a frame with nothing to damage. Mutating the response in place
+// is safe because the Mem transport round-trips every reply through the
+// wire codec, so the callee's copy is never shared with the caller.
+func corrupt(seed uint64, d Decision, resp wire.Message) {
+	cr, ok := resp.(*wire.ChunkResp)
+	if !ok || !cr.OK || len(cr.Data) == 0 {
+		return
+	}
+	key := d.Src + "|" + d.Dst
+	idx := int(roll(seed, key, d.Seq, 6) * float64(len(cr.Data)))
+	if idx >= len(cr.Data) {
+		idx = len(cr.Data) - 1
+	}
+	// Mask drawn from [1, 255] so the flip always changes the byte.
+	mask := byte(1 + uint64(roll(seed, key, d.Seq, 7)*255))
+	cr.Data[idx] ^= mask
 }
 
 var _ transport.Transport = (*faultTransport)(nil)

@@ -199,6 +199,65 @@ func TestPartitionBlocksAcrossGroupsOnly(t *testing.T) {
 	}
 }
 
+func TestCorruptFlipsExactlyOneChunkByte(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	chunkHandler := transport.HandlerFunc(func(from string, req wire.Message) wire.Message {
+		return &wire.ChunkResp{Seq: 7, OK: true, Data: append([]byte(nil), payload...)}
+	})
+	fetch := func(seed uint64) []byte {
+		in := NewInjector(seed)
+		f := transport.NewFabric()
+		a := in.Wrap(f.Attach(pongHandler(nil)))
+		b := f.Attach(chunkHandler)
+		in.SetRule(b.Addr(), Rule{Corrupt: 1})
+		resp, err := a.Call(b.Addr(), &wire.GetChunk{Seq: 7}, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, ok := resp.(*wire.ChunkResp)
+		if !ok || !cr.OK {
+			t.Fatalf("resp=%T ok=%v", resp, ok)
+		}
+		if in.Injected() != 1 {
+			t.Fatalf("injected=%d, want 1", in.Injected())
+		}
+		return cr.Data
+	}
+
+	got := fetch(11)
+	diff := 0
+	for i := range payload {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ from the original payload, want exactly 1", diff)
+	}
+	// Same seed reproduces the identical corruption.
+	again := fetch(11)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("byte %d differs across runs of the same seed", i)
+		}
+	}
+
+	// A corrupted decision on a control message passes it through intact:
+	// only chunk payloads are damageable.
+	in := NewInjector(11)
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := f.Attach(pongHandler(nil))
+	in.SetRule(b.Addr(), Rule{Corrupt: 1})
+	resp, err := a.Call(b.Addr(), &wire.Ping{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		t.Fatalf("control message mangled: %T", resp)
+	}
+}
+
 func TestWrapPassesThroughCleanly(t *testing.T) {
 	in := NewInjector(1) // zero rules: everything passes
 	f := transport.NewFabric()

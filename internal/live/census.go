@@ -1,0 +1,357 @@
+package live
+
+// Ring census & split-brain merge (see DESIGN.md, "Partitions & ring merge").
+//
+// A transient network partition bisects the Chord ring into two
+// self-consistent rings. Stabilization alone can never re-merge them: each
+// half's tables only reference members of that half, and every maintenance
+// action preserves whatever ring the node is on. Three pieces close the
+// hole:
+//
+//  1. A bounded member cache (chord.MemberCache) remembers previously-seen
+//     members, fed passively from successor lists, lookups, and replication
+//     traffic — and deliberately NOT purged when a member becomes
+//     unreachable, since an unreachable member may be on the far side of a
+//     partition.
+//  2. A periodic low-rate census probes a few cached members outside the
+//     current ring view. A probe answered by a member absent from our view
+//     whose view is likewise missing us flags a suspected split; routing
+//     this node's own ID through the foreign member confirms it (in a
+//     single ring that lookup lands back on self).
+//  3. A merge folds the foreign owner into the local tables via the
+//     monotone chord.State.MergeCandidate and notifies both sides, seeding
+//     the normal Notify/stabilize cascade that converges the two rings into
+//     one without livelock. Post-merge, index reconciliation (replication
+//     flush + anti-entropy + bounded re-registration) repairs ownership
+//     ranges immediately instead of waiting for republish rotation.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/wire"
+)
+
+// maxReconcileInserts bounds how many chunk registrations one post-merge
+// reconciliation re-sends; the republish rotation covers the remainder.
+const maxReconcileInserts = 512
+
+// noteMembersLocked records sightings of ring members in the census member
+// cache. Caller holds n.mu; handlers already under the lock use this
+// variant, everything else goes through noteMembers.
+func (n *Node) noteMembersLocked(es ...wire.Entry) {
+	now := time.Now()
+	for _, e := range es {
+		if e.Addr == "" {
+			continue
+		}
+		n.members.Note(entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true}, now)
+	}
+}
+
+// noteMembers is noteMembersLocked for call sites not holding n.mu.
+func (n *Node) noteMembers(es ...wire.Entry) {
+	n.mu.Lock()
+	n.noteMembersLocked(es...)
+	n.mu.Unlock()
+}
+
+// ringViewLocked is this node's current view of its ring: self, the
+// successor list, and the predecessor, deduped by address. Caller holds
+// n.mu. A view of size one means a self-ring (lone node).
+func (n *Node) ringViewLocked() []wire.Entry {
+	seen := map[string]bool{}
+	var out []wire.Entry
+	add := func(e entryT) {
+		if !e.OK || seen[e.Addr] {
+			return
+		}
+		seen[e.Addr] = true
+		out = append(out, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+	}
+	add(n.cs.Self)
+	for _, e := range n.cs.SuccessorList() {
+		add(e)
+	}
+	add(n.cs.Predecessor())
+	return out
+}
+
+// ringDigest hashes a ring view: FNV-1a over the member addresses in view
+// order (ringViewLocked's output is deterministic for a given state, so
+// equal views digest equally). Probe and response carry it so unchanged
+// views compare in O(1).
+func ringDigest(view []wire.Entry) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, e := range view {
+		for i := 0; i < len(e.Addr); i++ {
+			h ^= uint64(e.Addr[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// viewHas reports whether a ring view contains addr.
+func viewHas(view []wire.Entry, addr string) bool {
+	for _, e := range view {
+		if e.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// splitSuspected is the cheap split filter between this node's view and a
+// census peer's: suspicious when neither endpoint appears in the other's
+// view. Requiring the two views to be *fully* disjoint would be too
+// strong: successor-list tails go stale after a partition purge (only the
+// list head is ever called directly, so RemoveFailed never fires for
+// tails), and a single far-side breadcrumb lingering in one tail would
+// mask a real split forever. Mutual absence is only a *suspicion* —
+// distant nodes of one large ring also satisfy it — and maybeMerge's
+// confirmation lookup supplies the proof at the cost of one bounded
+// lookup per suspicion.
+func splitSuspected(self string, mine []wire.Entry, peer wire.Entry, theirs []wire.Entry) bool {
+	return !viewHas(mine, peer.Addr) && !viewHas(theirs, self)
+}
+
+// census is the periodic beacon loop: probe up to CensusProbes cached
+// members outside the current ring view and compare ring views. Probes use
+// the single-shot call path — a failed probe is itself the signal (the
+// member is still unreachable), and its breaker bookkeeping is how a
+// healed peer's circuit resets the moment a probe gets through.
+func (n *Node) census() {
+	n.mu.Lock()
+	view := n.ringViewLocked()
+	inView := make(map[string]bool, len(view))
+	for _, e := range view {
+		inView[e.Addr] = true
+	}
+	var cands []entryT
+	for _, m := range n.members.Members() {
+		if !inView[m.Addr] {
+			cands = append(cands, m)
+		}
+	}
+	var targets []entryT
+	k := n.cfg.CensusProbes
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		targets = append(targets, cands[int(n.censusCursor%uint64(len(cands)))])
+		n.censusCursor++
+	}
+	self := n.wireSelfLocked()
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	digest := ringDigest(view)
+	lone := len(view) == 1
+	probe := &wire.CensusProbe{From: self, Digest: digest, Members: view}
+	for _, t := range targets {
+		n.lm.censusProbes.Inc()
+		resp, err := n.call(t.Addr, probe)
+		if err != nil {
+			continue
+		}
+		cr, ok := resp.(*wire.CensusResp)
+		if !ok {
+			continue
+		}
+		n.lm.censusAnswered.Inc()
+		n.noteMembers(cr.From)
+		n.noteMembers(cr.Members...)
+		if lone {
+			// Lone-node recovery: a self-ring node re-bootstraps through any
+			// member that answers. No confirmation lookup — a lone node
+			// claims every key, so a stale far-side view could route the
+			// confirmation straight back here and fake "same ring" forever.
+			n.maybeMerge(cr.From, cr.Members, true)
+			continue
+		}
+		if cr.Digest == digest {
+			continue // identical view: same ring, nothing to do
+		}
+		if !splitSuspected(self.Addr, view, cr.From, cr.Members) {
+			continue // shared neighborhood: same ring, different vantage
+		}
+		n.maybeMerge(cr.From, cr.Members, false)
+	}
+}
+
+// onCensusProbe answers a census probe with this node's ring view. The
+// response is built immediately (the prober is waiting on a transport
+// goroutine); split handling runs asynchronously, so a one-way probe heals
+// both halves — the responder detects the same disjointness the prober
+// will, and both merge toward each other (MergeCandidate's monotonicity is
+// what makes the simultaneous merges safe).
+func (n *Node) onCensusProbe(m *wire.CensusProbe) wire.Message {
+	n.mu.Lock()
+	view := n.ringViewLocked()
+	n.noteMembersLocked(m.From)
+	n.noteMembersLocked(m.Members...)
+	self := n.wireSelfLocked()
+	n.mu.Unlock()
+	digest := ringDigest(view)
+	lone := len(view) == 1
+	if m.From.Addr != self.Addr && m.Digest != digest {
+		if lone || splitSuspected(self.Addr, view, m.From, m.Members) {
+			theirs := append([]wire.Entry{m.From}, m.Members...)
+			go n.maybeMerge(m.From, theirs, lone)
+		}
+	}
+	return &wire.CensusResp{From: self, Digest: digest, Members: view}
+}
+
+// maybeMerge runs the split-brain merge protocol against a foreign member
+// whose ring view was disjoint from ours. Merge attempts are serialized by
+// the merging flag (detection fires concurrently from the census loop and
+// inbound probes); a skipped attempt is retried by the next census round.
+//
+// lone skips the confirmation lookup: a self-ring node adopts any live
+// member directly (see census for why confirmation would be unsound there).
+func (n *Node) maybeMerge(foreign wire.Entry, theirs []wire.Entry, lone bool) {
+	if foreign.Addr == "" || foreign.Addr == n.Addr() {
+		return
+	}
+	if !n.merging.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.merging.Store(false)
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	start := time.Now()
+	n.mu.Lock()
+	selfID := uint64(n.cs.Self.ID)
+	n.mu.Unlock()
+
+	target := foreign
+	if !lone {
+		// Confirmation: route our own ID through the foreign member. In a
+		// single ring (however large — distant nodes legitimately have
+		// disjoint views) the lookup lands back on this node; a stranger
+		// answering proves the foreign member is on another ring, and that
+		// stranger is exactly the node whose claimed range covers our ID —
+		// the one node guaranteed to adopt us on Notify.
+		owner, _, _, _, err := n.findOwnerFrom(foreign.Addr, selfID)
+		if err != nil {
+			return // unreachable or mid-churn: the next census round retries
+		}
+		if owner.Addr == n.Addr() {
+			return // same ring: disjoint views were a false alarm
+		}
+		target = owner
+	}
+	n.lm.splitsDetected.Inc()
+	n.traceEvent("ring.split", fmt.Sprintf("via=%s owner=%s lone=%v", foreign.Addr, target.Addr, lone))
+
+	// Fold the foreign members into the local tables. MergeCandidate only
+	// ever tightens pointers toward self, so repeated and concurrent merges
+	// reach a fixpoint instead of oscillating. Members that tighten nothing
+	// still land in the member cache for future censuses.
+	n.mu.Lock()
+	n.cs.MergeCandidate(entryT{ID: chord.ID(target.ID), Addr: target.Addr, OK: true})
+	n.noteMembersLocked(target)
+	for _, e := range theirs {
+		if e.Addr == "" || e.Addr == n.cs.Self.Addr {
+			continue
+		}
+		n.cs.MergeCandidate(entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+	}
+	n.noteMembersLocked(theirs...)
+	succ := n.cs.Successor()
+	self := n.wireSelfLocked()
+	n.mu.Unlock()
+
+	// Seed the stabilize cascade immediately instead of waiting a tick:
+	// notify the (possibly new) successor, and notify the foreign owner —
+	// our ID lies in its claimed range, so its Notify rule adopts us as
+	// predecessor, which the next foreign-side stabilize round propagates
+	// backward around that ring.
+	if succ.OK && succ.Addr != self.Addr {
+		_, _ = n.call(succ.Addr, &wire.Notify{From: self})
+	}
+	if target.Addr != succ.Addr {
+		_, _ = n.call(target.Addr, &wire.Notify{From: self})
+	}
+	n.lm.ringMerges.Inc()
+	n.lm.mergeSeconds.Observe(time.Since(start).Seconds())
+	n.traceEvent("ring.merge", fmt.Sprintf("target=%s succ=%s lone=%v", target.Addr, succ.Addr, lone))
+
+	n.reconcile()
+}
+
+// reconcile is the post-merge index repair: push pending replication ops to
+// the (possibly new) replica set, run an anti-entropy round across the new
+// successor relationships, and re-register this node's held chunks with
+// their (possibly changed) coordinators — all immediately, instead of
+// waiting out the periodic ticks, so ownership ranges and replica sets
+// repair within the merge instead of the next republish window.
+func (n *Node) reconcile() {
+	n.replicateFlush()
+	if n.cfg.Replicas > 0 {
+		n.antiEntropy()
+	}
+	n.mu.Lock()
+	seqs := make([]int64, 0, len(n.registered))
+	for seq := range n.registered {
+		seqs = append(seqs, seq)
+	}
+	n.mu.Unlock()
+	if len(seqs) > maxReconcileInserts {
+		// Bounded: newest first (the live edge is what viewers are fetching
+		// right now); the republish rotation covers the tail.
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+		seqs = seqs[:maxReconcileInserts]
+	}
+	for _, seq := range seqs {
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.insertIndex(seq)
+	}
+	n.traceEvent("ring.reconcile", fmt.Sprintf("inserts=%d", len(seqs)))
+}
+
+// ForeignMembers reports how many cached members are outside the current
+// ring view (tests, the dco_live_foreign_members gauge). After a merge
+// completes and views converge, this returns toward zero for a healthy
+// cache — every cached member is a ring member again.
+func (n *Node) ForeignMembers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inView := map[string]bool{}
+	for _, e := range n.ringViewLocked() {
+		inView[e.Addr] = true
+	}
+	c := 0
+	for _, m := range n.members.Members() {
+		if !inView[m.Addr] {
+			c++
+		}
+	}
+	return c
+}
+
+// MemberCacheLen reports the member-cache size (tests, gauge).
+func (n *Node) MemberCacheLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.members.Len()
+}

@@ -106,6 +106,74 @@ func TestFaultMatrixSwarmConverges(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixCorruptionDetected: every chunk payload from the source
+// is corrupted in flight (one seeded byte flip). The viewer must catch
+// each one with VerifyChunkPayload, blacklist the provider, and buffer
+// nothing — a corrupt chunk re-served downstream would poison the swarm.
+// Once the corruption clears, the same stream completes and everything
+// buffered verifies.
+func TestFaultMatrixCorruptionDetected(t *testing.T) {
+	const seed = 20260806
+	f := transport.NewFabric()
+	in := faulty.NewInjector(seed)
+
+	cfg := resilientConfig(true)
+	cfg.Channel.Count = 12
+	src, err := NewNode(cfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := resilientConfig(false)
+	vcfg.Channel.Count = 12
+	v, err := NewNode(vcfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption only mangles ChunkResp payloads, so control traffic
+	// (join, lookups, stabilize) toward the source is unaffected.
+	in.SetRule(src.Addr(), faulty.Rule{Corrupt: 1})
+	src.Start()
+	v.Start()
+	defer src.Close()
+	defer v.Close()
+
+	// The viewer keeps catching corrupt transfers and cooling the source
+	// down; nothing corrupt may land in the buffer.
+	waitFor(t, 30*time.Second, "corrupted transfers to blacklist the source", func() bool {
+		return v.Stats().ProvidersBlacklisted >= 2
+	})
+	if got := v.ChunkCount(); got != 0 {
+		t.Fatalf("viewer buffered %d chunks while every payload was corrupted", got)
+	}
+	corrupted := 0
+	for _, d := range in.History() {
+		if d.Action == faulty.Corrupted {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no Corrupted decision in the injector history; the scenario tested nothing")
+	}
+
+	// Clear the rule: the blacklist cooldown expires and the stream
+	// completes with intact payloads.
+	in.SetRule(src.Addr(), faulty.Rule{})
+	want := int(vcfg.Channel.Count)
+	waitFor(t, 60*time.Second, "viewer to complete the stream after corruption clears", func() bool {
+		return v.ChunkCount() >= want
+	})
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for seq, data := range v.chunks {
+		if !VerifyChunkPayload(v.cfg.Channel, seq, data) {
+			t.Fatalf("buffered chunk %d fails verification", seq)
+		}
+	}
+}
+
 // ringCorrect checks every node's successor pointer against the sorted
 // ring order of the given membership.
 func ringCorrect(nodes []*Node) bool {

@@ -67,6 +67,13 @@ type liveMetrics struct {
 	replicateBytes    *telemetry.Counter
 	digestBytes       *telemetry.Counter
 
+	// Ring census & split-brain merge (census.go): probes sent/answered,
+	// confirmed split detections, and completed merge protocols.
+	censusProbes   *telemetry.Counter
+	censusAnswered *telemetry.Counter
+	splitsDetected *telemetry.Counter
+	ringMerges     *telemetry.Counter
+
 	// chunkFetchSeconds is the per-chunk acquisition latency — from the
 	// moment a viewer starts working on a chunk until it is buffered,
 	// lookup wait and provider failovers included. This is the live
@@ -82,6 +89,11 @@ type liveMetrics struct {
 	// serveQueueSeconds is the pace delay admitted chunk serves sat out
 	// before sending — the provider-side half of admission latency.
 	serveQueueSeconds *telemetry.Histogram
+
+	// mergeSeconds is the duration of one split-brain merge protocol run:
+	// confirmation lookup through table folding, notifies, and post-merge
+	// index reconciliation.
+	mergeSeconds *telemetry.Histogram
 }
 
 // newLiveMetrics registers the node's metric set on reg (creating a
@@ -134,10 +146,16 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		replicateBytes:    reg.Counter("dco_live_replicate_bytes_total"),
 		digestBytes:       reg.Counter("dco_live_digest_bytes_total"),
 
+		censusProbes:   reg.Counter("dco_live_census_probes_total"),
+		censusAnswered: reg.Counter("dco_live_census_answered_total"),
+		splitsDetected: reg.Counter("dco_live_splits_detected_total"),
+		ringMerges:     reg.Counter("dco_live_ring_merges_total"),
+
 		chunkFetchSeconds: reg.Histogram("dco_live_chunk_fetch_seconds", telemetry.DefLatencyBuckets),
 		lookupSeconds:     reg.Histogram("dco_live_lookup_seconds", telemetry.DefLatencyBuckets),
 		replicationLag:    reg.Histogram("dco_live_replication_lag_seconds", telemetry.DefLatencyBuckets),
 		serveQueueSeconds: reg.Histogram("dco_live_serve_queue_seconds", telemetry.DefLatencyBuckets),
+		mergeSeconds:      reg.Histogram("dco_live_merge_seconds", telemetry.DefLatencyBuckets),
 	}
 }
 
@@ -200,6 +218,12 @@ func (n *Node) registerGauges() {
 	reg.GaugeFunc("dco_live_replica_entries", func() float64 {
 		_, entries := n.ReplicaCounts()
 		return float64(entries)
+	})
+	reg.GaugeFunc("dco_live_member_cache_size", func() float64 {
+		return float64(n.MemberCacheLen())
+	})
+	reg.GaugeFunc("dco_live_foreign_members", func() float64 {
+		return float64(n.ForeignMembers())
 	})
 	reg.GaugeFunc("dco_ring_successor_changes", func() float64 {
 		n.mu.Lock()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dco/internal/chord"
@@ -118,6 +119,26 @@ type Config struct {
 	// disables leases (registrations live until unregistered).
 	IndexTTL time.Duration
 
+	// CensusEvery is the ring-census cadence (census.go): how often this
+	// node probes a few previously-seen members *outside* its current ring
+	// view to detect a split-brain (two self-consistent rings after a
+	// healed partition, which stabilization alone can never re-merge).
+	// Zero disables the census — and with it automatic partition healing
+	// and lone-node re-bootstrap.
+	CensusEvery time.Duration
+
+	// CensusProbes is how many cached members one census round probes.
+	// Low by design: the census is a background safety net, not a gossip
+	// protocol. 0 derives 2.
+	CensusProbes int
+
+	// MemberCacheSize bounds the member cache feeding the census: members
+	// seen in successor lists, lookups, and replication traffic, retained
+	// even after they become unreachable (an unreachable member may be on
+	// the far side of a partition — exactly who the census must probe).
+	// 0 derives 128.
+	MemberCacheSize int
+
 	// ActiveWindow bounds how many chunks a node retains (and advertises);
 	// older chunks are dropped and unregistered as the stream moves on —
 	// the paper's sliding active-chunk window (§III-A1). Zero keeps
@@ -183,6 +204,9 @@ func DefaultNodeConfig() Config {
 		ReplicateEvery:     150 * time.Millisecond,
 		AntiEntropyEvery:   3 * time.Second,
 		IndexTTL:           45 * time.Second,
+		CensusEvery:        2 * time.Second,
+		CensusProbes:       2,
+		MemberCacheSize:    128,
 		Retry:              retry.DefaultPolicy(),
 		Breaker:            retry.DefaultBreakerConfig(),
 		ProviderCooldown:   2 * time.Second,
@@ -232,6 +256,14 @@ type Node struct {
 	replSince   time.Time // enqueue time of the oldest pending op
 	replicas    map[string]*replicaSet
 
+	// Ring census state (census.go): the bounded memory of previously-seen
+	// members (guarded by n.mu, like cs) and the probe-rotation cursor.
+	// merging serializes split-brain merge attempts — detection can fire
+	// concurrently from the census loop and inbound probes.
+	members      *chord.MemberCache[string]
+	censusCursor uint64
+	merging      atomic.Bool
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -269,6 +301,10 @@ type Stats struct {
 	DigestRepairs     uint64 // index ops re-sent after a digest mismatch
 	ProvidersExpired  uint64 // provider leases aged out of the owned index
 	LookupFailures    uint64 // lookups that exhausted every candidate coordinator
+	// Ring-census counters (census.go).
+	CensusProbes   uint64 // census probes sent to members outside the ring view
+	SplitsDetected uint64 // confirmed split-brain detections
+	RingMerges     uint64 // merge protocol completions (incl. lone-node re-bootstraps)
 	// Byte meters for the write-amplification benchmark (dcosim -method live):
 	// frame bytes of Insert traffic into the index, of replication batches
 	// out, and of anti-entropy digests + repairs out.
@@ -377,6 +413,12 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	if cfg.AdmitMaxWait <= 0 {
 		cfg.AdmitMaxWait = 600 * time.Millisecond
 	}
+	if cfg.CensusProbes <= 0 {
+		cfg.CensusProbes = 2
+	}
+	if cfg.MemberCacheSize <= 0 {
+		cfg.MemberCacheSize = 128
+	}
 	burst := cfg.AdmitBurst
 	if burst <= 0 {
 		// Default burst: a few chunks of slack or a quarter-second of the
@@ -410,6 +452,7 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	n.tr = tr
 	self := entryT{ID: chord.HashString("live-node-" + tr.Addr()), Addr: tr.Addr(), OK: true}
 	n.cs = chord.NewState(self, cfg.SuccListSize)
+	n.members = chord.NewMemberCache(self.Addr, cfg.MemberCacheSize)
 	seed := cfg.RetrySeed
 	if seed == 0 {
 		// Stable per-address seed: same deployment, same jitter schedule.
@@ -458,6 +501,9 @@ func (n *Node) Stats() Stats {
 		DigestRepairs:        n.lm.digestRepairOps.Value(),
 		ProvidersExpired:     n.lm.indexExpired.Value(),
 		LookupFailures:       n.lm.lookupFailures.Value(),
+		CensusProbes:         n.lm.censusProbes.Value(),
+		SplitsDetected:       n.lm.splitsDetected.Value(),
+		RingMerges:           n.lm.ringMerges.Value(),
 		IndexInsertBytes:     n.lm.indexInsertBytes.Value(),
 		ReplicateBytes:       n.lm.replicateBytes.Value(),
 		DigestBytes:          n.lm.digestBytes.Value(),
@@ -497,6 +543,7 @@ func (n *Node) Start() {
 		n.loop(n.cfg.ReplicateEvery, n.replicateFlush)
 		n.loop(n.cfg.AntiEntropyEvery, n.antiEntropy)
 	}
+	n.loop(n.cfg.CensusEvery, n.census)
 	if n.cfg.Source {
 		n.wg.Add(1)
 		go n.generateLoop()
@@ -596,6 +643,11 @@ func (n *Node) joinVia(bootstrap string) error {
 	}
 	if predOK {
 		n.cs.SetPredecessor(entryT{ID: chord.ID(pred.ID), Addr: pred.Addr, OK: true})
+	}
+	n.noteMembersLocked(owner)
+	n.noteMembersLocked(succs...)
+	if predOK {
+		n.noteMembersLocked(pred)
 	}
 	n.mu.Unlock()
 	// The first notify is best-effort: stabilization re-notifies every

@@ -35,6 +35,8 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 		return n.onReplicateBatch(m)
 	case *wire.DigestReq:
 		return n.onDigestReq(m)
+	case *wire.CensusProbe:
+		return n.onCensusProbe(m)
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request"}
 	}
@@ -80,6 +82,7 @@ func (n *Node) onGetState() wire.Message {
 func (n *Node) onNotify(m *wire.Notify) wire.Message {
 	cand := entryT{ID: chord.ID(m.From.ID), Addr: m.From.Addr, OK: true}
 	n.mu.Lock()
+	n.noteMembersLocked(m.From)
 	adopted := n.cs.Notify(cand)
 	var moved []wire.HandoffEntry
 	if adopted {
@@ -164,6 +167,7 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 		return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 	}
 	n.lm.insertsServed.Inc()
+	n.noteMembersLocked(m.Holder)
 	e := n.indexEntryLocked(m.Seq)
 	if m.Unregister {
 		for i, pr := range e.providers {
@@ -284,8 +288,11 @@ func (n *Node) onLeave(m *wire.Leave) wire.Message {
 	defer n.mu.Unlock()
 	// A graceful leaver handed its index to its successor; whatever slice
 	// of it was replicated here is now stale (the new owner replicates its
-	// own copy), so drop it rather than promote it later.
+	// own copy), so drop it rather than promote it later. The member cache
+	// forgets it too — graceful departure is the one conclusive "gone for
+	// good" signal (abrupt unreachability is not: that may be a partition).
 	delete(n.replicas, m.From.Addr)
+	n.members.Forget(m.From.Addr)
 	if m.NewSucc != nil {
 		n.cs.RemoveFailed(m.From.Addr)
 		var list []entryT
@@ -344,6 +351,12 @@ func (n *Node) stabilize() {
 		return
 	}
 	n.mu.Lock()
+	// Passive member-cache feed: every stabilize answer names live ring
+	// members worth remembering for the census.
+	if st.PredOK {
+		n.noteMembersLocked(st.Pred)
+	}
+	n.noteMembersLocked(st.Succs...)
 	cur := n.cs.Successor()
 	if cur.Addr == succ.Addr {
 		if st.PredOK && st.Pred.Addr != self.Addr && chord.InOO(self.ID, chord.ID(st.Pred.ID), succ.ID) {
@@ -454,6 +467,8 @@ func (n *Node) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs 
 		}
 		if fs.Done {
 			n.traceEvent("lookup.route", fmt.Sprintf("key=%016x hops=%d owner=%s", key, hops+1, fs.Owner.Addr))
+			n.noteMembers(fs.Owner)
+			n.noteMembers(fs.Succs...)
 			return fs.Owner, fs.Succs, fs.Pred, fs.OK, nil
 		}
 		if fs.Owner.Addr == "" || fs.Owner.Addr == cur {

@@ -160,6 +160,7 @@ func (n *Node) onReplicateBatch(m *wire.ReplicateBatch) wire.Message {
 	if m.Owner.Addr == n.cs.Self.Addr {
 		return &wire.Ack{}
 	}
+	n.noteMembersLocked(m.Owner)
 	now := time.Now()
 	pred := n.cs.Predecessor()
 	var rs *replicaSet
@@ -462,6 +463,7 @@ func (n *Node) onDigestReq(m *wire.DigestReq) wire.Message {
 	if m.Owner.Addr == n.cs.Self.Addr {
 		return &wire.DigestResp{}
 	}
+	n.noteMembersLocked(m.Owner)
 	now := time.Now()
 	rs := n.replicaSetLocked(m.Owner)
 	mentioned := make(map[int64]bool, len(m.Digests))

@@ -1,0 +1,207 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/transport"
+)
+
+// censusConfig is resilientConfig with the ring census sped up so
+// partition tests detect and merge splits in test time.
+func censusConfig(source bool) Config {
+	cfg := resilientConfig(source)
+	cfg.CensusEvery = 80 * time.Millisecond
+	cfg.CensusProbes = 2
+	return cfg
+}
+
+// TestSplitBrainMergesAfterHeal is the tentpole scenario: a 6-node swarm
+// bisected mid-stream degenerates into two self-consistent rings, and
+// after the heal the census — with no manual rejoin anywhere — detects
+// the split and merges the halves back into one ring. The merged ring
+// must then stay quiescent (no oscillation from the symmetric detectors)
+// and every viewer must recover the full stream.
+func TestSplitBrainMergesAfterHeal(t *testing.T) {
+	const seed = 5050
+	f := transport.NewFabric()
+	in := faulty.NewInjector(seed)
+
+	cfg := censusConfig(true)
+	cfg.Channel.Count = 30
+	src, err := NewNode(cfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := censusConfig(false)
+	vcfg.Channel.Count = 30
+	var viewers []*Node
+	for i := 0; i < 5; i++ {
+		nd, err := NewNode(vcfg, faultyAttach(f, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		viewers = append(viewers, nd)
+	}
+	src.Start()
+	for _, v := range viewers {
+		v.Start()
+	}
+	all := append([]*Node{src}, viewers...)
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	waitFor(t, 15*time.Second, "initial ring to converge", func() bool {
+		return ringCorrect(all)
+	})
+
+	// Bisect: the source and two viewers on one side, three viewers on the
+	// other. Every node has seen every other by now (successor lists cover
+	// the whole 6-node ring), so both halves hold far-side breadcrumbs in
+	// their member caches.
+	sideA := []*Node{src, viewers[0], viewers[1]}
+	sideB := []*Node{viewers[2], viewers[3], viewers[4]}
+	in.Partition(
+		[]string{src.Addr(), viewers[0].Addr(), viewers[1].Addr()},
+		[]string{viewers[2].Addr(), viewers[3].Addr(), viewers[4].Addr()},
+	)
+
+	// Each half purges the unreachable far side and converges into its own
+	// ring — the split-brain state the census exists to repair.
+	waitFor(t, 30*time.Second, "both halves to form their own rings", func() bool {
+		return ringCorrect(sideA) && ringCorrect(sideB)
+	})
+
+	in.Heal()
+
+	// The census must now re-merge the rings on its own: no JoinAny, no
+	// restart, nothing manual.
+	waitFor(t, 30*time.Second, "census to merge the rings after the heal", func() bool {
+		return ringCorrect(all)
+	})
+
+	var splits, merges uint64
+	for _, nd := range all {
+		st := nd.Stats()
+		splits += st.SplitsDetected
+		merges += st.RingMerges
+	}
+	if splits == 0 {
+		t.Error("no node ever counted a detected split")
+	}
+	if merges == 0 {
+		t.Error("no node ever counted a completed merge")
+	}
+
+	// Non-oscillation: detectors fire symmetrically on both halves, so the
+	// merged ring must hold still across several further census rounds.
+	time.Sleep(8 * cfg.CensusEvery)
+	if !ringCorrect(all) {
+		t.Fatal("merged ring fell apart after further census rounds")
+	}
+
+	// Fill recovery: the side cut off from the source catches up on the
+	// whole stream through the merged ring.
+	want := int(vcfg.Channel.Count)
+	waitFor(t, 60*time.Second, "all viewers to recover the full stream post-merge", func() bool {
+		for _, v := range viewers {
+			if v.ChunkCount() < want {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestLoneNodeRecoversViaCensus: a node isolated entirely alone exhausts
+// its successor list and degenerates to a self-ring. After the heal it
+// must re-bootstrap automatically through its member cache — the lone
+// branch of the census that merges on any answered probe without a
+// confirmation lookup — and catch up on the stream. No manual JoinAny.
+func TestLoneNodeRecoversViaCensus(t *testing.T) {
+	const seed = 6161
+	f := transport.NewFabric()
+	in := faulty.NewInjector(seed)
+
+	cfg := censusConfig(true)
+	cfg.Channel.Count = 30
+	src, err := NewNode(cfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := censusConfig(false)
+	vcfg.Channel.Count = 30
+	var viewers []*Node
+	for i := 0; i < 3; i++ {
+		nd, err := NewNode(vcfg, faultyAttach(f, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Join(src.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		viewers = append(viewers, nd)
+	}
+	src.Start()
+	for _, v := range viewers {
+		v.Start()
+	}
+	all := append([]*Node{src}, viewers...)
+	defer func() {
+		for _, nd := range all {
+			nd.Close()
+		}
+	}()
+
+	waitFor(t, 15*time.Second, "initial ring to converge", func() bool {
+		return ringCorrect(all)
+	})
+
+	isolated := viewers[2]
+	majority := []*Node{src, viewers[0], viewers[1]}
+	in.Partition(
+		[]string{src.Addr(), viewers[0].Addr(), viewers[1].Addr()},
+		[]string{isolated.Addr()},
+	)
+
+	// The isolated node burns through its successor list and falls back to
+	// a ring of one; the majority converges without it.
+	waitFor(t, 30*time.Second, "isolated node to degenerate to a self-ring", func() bool {
+		_, succ := isolated.Successor()
+		return succ == isolated.Addr()
+	})
+	waitFor(t, 30*time.Second, "majority ring to converge without the isolated node", func() bool {
+		return ringCorrect(majority)
+	})
+
+	in.Heal()
+
+	// Recovery is automatic: the lone node's census probes its cached
+	// members and adopts the first one that answers.
+	waitFor(t, 30*time.Second, "lone node to rejoin via census", func() bool {
+		return ringCorrect(all)
+	})
+	if isolated.Stats().RingMerges == 0 {
+		// The merge may also have been driven from the majority side
+		// answering the lone node's probe; either way someone merged.
+		var merges uint64
+		for _, nd := range all {
+			merges += nd.Stats().RingMerges
+		}
+		if merges == 0 {
+			t.Error("no node ever counted a completed merge")
+		}
+	}
+
+	want := int(vcfg.Channel.Count)
+	waitFor(t, 60*time.Second, "recovered node to catch up on the stream", func() bool {
+		return isolated.ChunkCount() >= want
+	})
+}

@@ -433,6 +433,7 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 				n.traceEvent("lookup.failover", seqDetail(seq)+" coordinator="+c.Addr)
 			}
 			n.lm.lookupSeconds.Observe(time.Since(start).Seconds())
+			n.noteMembers(lr.Providers...)
 			return lr.Providers, nil
 		}
 	}

@@ -29,6 +29,8 @@ func FuzzReadMessage(f *testing.F) {
 		&ReplicateBatch{Owner: e, Ops: []ReplicaOp{{Key: 1, Seq: 2, Holder: e, UpBps: 3, TTLMillis: 4}}},
 		&DigestReq{Owner: e, Digests: []SeqDigest{{Key: 1, Seq: 2, Hash: 3}}},
 		&DigestResp{Need: []int64{5}},
+		&CensusProbe{From: e, Digest: 6, Members: []Entry{e}},
+		&CensusResp{From: e, Digest: 6, Members: []Entry{e}},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

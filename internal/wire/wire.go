@@ -38,6 +38,8 @@ const (
 	KindReplicateBatch
 	KindDigestReq
 	KindDigestResp
+	KindCensusProbe
+	KindCensusResp
 )
 
 // MaxFrame bounds a frame (type byte + payload). Chunks dominate; 4 MiB
@@ -272,6 +274,27 @@ type DigestResp struct {
 	Need []int64
 }
 
+// CensusProbe is the ring census beacon: From asks a cached member (usually
+// one outside its current successor list) for its ring view. Digest is a
+// hash over the sender's sorted view addresses and Members the view itself
+// (self + successor list + predecessor), so the receiver can detect a
+// split-brain symmetrically from the same exchange.
+type CensusProbe struct {
+	From    Entry
+	Digest  uint64
+	Members []Entry
+}
+
+// CensusResp answers a probe with the receiver's own ring view, mirrored
+// fields. Matching digests short-circuit comparison; member-disjoint views
+// flag a suspected split, confirmed by routing the prober's own ID through
+// the responder.
+type CensusResp struct {
+	From    Entry
+	Digest  uint64
+	Members []Entry
+}
+
 // ---------------------------------------------------------------------------
 // Framing.
 
@@ -389,6 +412,10 @@ func New(k Kind) (Message, error) {
 		return &DigestReq{}, nil
 	case KindDigestResp:
 		return &DigestResp{}, nil
+	case KindCensusProbe:
+		return &CensusProbe{}, nil
+	case KindCensusResp:
+		return &CensusResp{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
 	}
@@ -804,5 +831,31 @@ func (m *DigestResp) decode(r *reader) error {
 	for i := uint32(0); i < n && r.err == nil; i++ {
 		m.Need = append(m.Need, r.i64())
 	}
+	return r.err
+}
+
+func (m *CensusProbe) Kind() Kind { return KindCensusProbe }
+func (m *CensusProbe) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	b = putU64(b, m.Digest)
+	return putEntries(b, m.Members)
+}
+func (m *CensusProbe) decode(r *reader) error {
+	m.From = r.entry()
+	m.Digest = r.u64()
+	m.Members = r.entries()
+	return r.err
+}
+
+func (m *CensusResp) Kind() Kind { return KindCensusResp }
+func (m *CensusResp) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	b = putU64(b, m.Digest)
+	return putEntries(b, m.Members)
+}
+func (m *CensusResp) decode(r *reader) error {
+	m.From = r.entry()
+	m.Digest = r.u64()
+	m.Members = r.entries()
 	return r.err
 }

@@ -60,6 +60,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&DigestReq{Owner: e2},
 		&DigestResp{Need: []int64{1, -2, 3}},
 		&DigestResp{},
+		&CensusProbe{From: e1, Digest: 0xFEEDF00D, Members: []Entry{e1, e2}},
+		&CensusProbe{From: e2},
+		&CensusResp{From: e2, Digest: 1, Members: []Entry{e1}},
+		&CensusResp{From: e1},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -296,5 +300,31 @@ func BenchmarkEncodeDecodeChunkResp(b *testing.B) {
 		if _, err := ReadMessage(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCensusRoundTrip pins the ring-census contract on the wire: probe and
+// response carry the sender identity, the view digest, and the full member
+// list unchanged — the split-brain detector compares exactly these fields.
+func TestCensusRoundTrip(t *testing.T) {
+	view := []Entry{
+		{ID: 10, Addr: "a:1"},
+		{ID: 20, Addr: "b:2"},
+		{ID: 30, Addr: "c:3"},
+	}
+	probe := &CensusProbe{From: view[0], Digest: 0x1234567890ABCDEF, Members: view}
+	gotP := roundTrip(t, probe).(*CensusProbe)
+	if !reflect.DeepEqual(probe, gotP) {
+		t.Fatalf("census probe mutated:\n  sent %#v\n  got  %#v", probe, gotP)
+	}
+	resp := &CensusResp{From: view[2], Digest: 0xFFFFFFFFFFFFFFFF, Members: view[1:]}
+	gotR := roundTrip(t, resp).(*CensusResp)
+	if !reflect.DeepEqual(resp, gotR) {
+		t.Fatalf("census resp mutated:\n  sent %#v\n  got  %#v", resp, gotR)
+	}
+	// An empty view (lone node probing from its member cache) must survive.
+	lone := roundTrip(t, &CensusProbe{From: view[0], Digest: 0}).(*CensusProbe)
+	if lone.From != view[0] || lone.Digest != 0 || len(lone.Members) != 0 {
+		t.Fatalf("lone-node probe mutated: %#v", lone)
 	}
 }
