@@ -44,6 +44,12 @@ func main() {
 		verbosity = flag.Int("v", 1, "0 = quiet, 1 = progress, 2 = per chunk")
 		out       = flag.String("out", "", "write received chunks, in order, to this file ('-' = stdout)")
 
+		// DHT kernel (see DESIGN.md, "DHT kernel").
+		dhtBackend = flag.String("dht", "", "coordinator substrate: chord or kademlia (empty = $DCO_DHT, then chord)")
+		kadK       = flag.Int("kad-k", 0, "kademlia bucket size / replica-set width k (0 = default 16)")
+		kadAlpha   = flag.Int("kad-alpha", 0, "kademlia lookup parallelism alpha (0 = default 3)")
+		kadRefresh = flag.Duration("kad-refresh", 0, "kademlia bucket refresh period (0 = derive from the stabilize cadence)")
+
 		// Observability (see DESIGN.md, "Observability").
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars.json, /debug/trace and /debug/pprof/ on this address (empty disables)")
 		traceCap    = flag.Int("trace-cap", 4096, "protocol-event trace ring capacity")
@@ -92,6 +98,12 @@ func main() {
 	flag.Parse()
 
 	cfg := live.DefaultNodeConfig()
+	if *dhtBackend != "" {
+		cfg.DHT = *dhtBackend
+	}
+	cfg.KadK = *kadK
+	cfg.KadAlpha = *kadAlpha
+	cfg.KadRefreshEvery = *kadRefresh
 	cfg.Source = *source
 	cfg.StartSeq = *startSeq
 	cfg.Channel = stream.Params{
@@ -198,7 +210,7 @@ func main() {
 	if *source {
 		role = "source"
 	}
-	fmt.Printf("dconode %s listening on %s (ring id %s)\n", role, node.Addr(), node.ID())
+	fmt.Printf("dconode %s listening on %s (%s id %016x)\n", role, node.Addr(), node.DHTName(), node.ID())
 	if *metricsAddr != "" {
 		tsrv, err = telemetry.Serve(*metricsAddr, reg, tr)
 		if err != nil {

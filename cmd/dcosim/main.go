@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain | dhtcompare")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -55,6 +55,13 @@ func main() {
 	if *method == "flashcrowd" {
 		// Also the real node stack: the admission-control stress scenario.
 		runFlashCrowd(*n, *chunks, *srcUpBps, *jsonOut)
+		return
+	}
+	if *method == "dhtcompare" {
+		// Also the real node stack: the same flash-crowd + coordinator-kill
+		// scenario run on both DHT backends, reporting lookup hops, control
+		// overhead, and recovery time side by side.
+		runDHTCompare(*n, *chunks, *seed, *jsonOut)
 		return
 	}
 	if *method == "splitbrain" {

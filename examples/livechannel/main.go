@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("source: %v", err)
 	}
-	fmt.Printf("source   %s  ring=%s\n", src.Addr(), src.ID())
+	fmt.Printf("source   %s  id=%016x\n", src.Addr(), src.ID())
 
 	// Viewers join through the source.
 	var mu sync.Mutex
@@ -65,7 +65,7 @@ func main() {
 		if err := nd.Join(src.Addr()); err != nil {
 			log.Fatalf("%s join: %v", name, err)
 		}
-		fmt.Printf("%-8s %s  ring=%s\n", name, nd.Addr(), nd.ID())
+		fmt.Printf("%-8s %s  id=%016x\n", name, nd.Addr(), nd.ID())
 		nodes = append(nodes, nd)
 	}
 

@@ -1,0 +1,620 @@
+// Package chordkern implements the dht.Kernel contract with the Chord ring
+// the paper assumes: successor-list routing, finger tables, and the
+// stabilize/notify maintenance protocol. The pure ring state machine stays
+// in internal/chord (shared with the simulator); this package owns the
+// networked half — the RPC handlers and maintenance loops that used to live
+// inside internal/live — behind the backend-neutral interface.
+package chordkern
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dco/internal/chord"
+	"dco/internal/dht"
+	"dco/internal/telemetry"
+	"dco/internal/wire"
+)
+
+type entryT = chord.Entry[string]
+
+// Config tunes the Chord backend.
+type Config struct {
+	// SuccListSize is the successor-list length (the paper varies it 8-64).
+	SuccListSize int
+	// StabilizeEvery is the stabilize + check-predecessor cadence.
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the finger-repair cadence (one finger per tick).
+	FixFingersEvery time.Duration
+}
+
+// Kernel is the Chord backend. Safe for concurrent use; see the dht package
+// comment for the locking contract (events and RPCs never fire under mu).
+type Kernel struct {
+	cfg   Config
+	self  dht.Member
+	call  dht.Caller
+	ev    dht.Events
+	trace *telemetry.Trace
+	done  <-chan struct{}
+
+	mu sync.Mutex
+	cs *chord.State[string]
+
+	stabilizeRuns *telemetry.Counter
+	fingerFixes   *telemetry.Counter
+	lookups       *telemetry.Counter
+	lookupHops    *telemetry.Counter
+	hopHist       *telemetry.Histogram
+}
+
+// New builds a Chord kernel for opts.Self. The registry gains the ring
+// maintenance gauges (dco_ring_*) and the backend-neutral lookup-hop
+// histogram (dco_dht_lookup_hops).
+func New(cfg Config, opts dht.Options) *Kernel {
+	if cfg.SuccListSize <= 0 {
+		cfg.SuccListSize = 8
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	k := &Kernel{
+		cfg:   cfg,
+		self:  opts.Self,
+		call:  opts.Caller,
+		ev:    opts.Events,
+		trace: opts.Trace,
+		done:  opts.Done,
+
+		stabilizeRuns: reg.Counter("dco_ring_stabilize_runs_total"),
+		fingerFixes:   reg.Counter("dco_ring_finger_fixes_total"),
+		lookups:       reg.Counter("dco_dht_lookups_total"),
+		lookupHops:    reg.Counter("dco_dht_lookup_hops_total"),
+		hopHist:       reg.Histogram("dco_dht_lookup_hops", dht.HopBuckets),
+	}
+	k.cs = chord.NewState(toEntry(opts.Self), cfg.SuccListSize)
+	reg.GaugeFunc("dco_ring_successor_changes", func() float64 {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		c, _ := k.cs.MaintenanceStats()
+		return float64(c)
+	})
+	reg.GaugeFunc("dco_ring_failures_removed", func() float64 {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		_, r := k.cs.MaintenanceStats()
+		return float64(r)
+	})
+	return k
+}
+
+func toEntry(m dht.Member) entryT {
+	return entryT{ID: chord.ID(m.ID), Addr: m.Addr, OK: true}
+}
+
+func fromEntry(e entryT) dht.Member { return dht.Member{ID: uint64(e.ID), Addr: e.Addr} }
+
+func wireEntry(e entryT) wire.Entry { return wire.Entry{ID: uint64(e.ID), Addr: e.Addr} }
+
+func (k *Kernel) selfWire() wire.Entry { return wire.Entry{ID: k.self.ID, Addr: k.self.Addr} }
+
+// seen fires the host's Seen callback for wire entries sighted in traffic.
+func (k *Kernel) seen(es ...wire.Entry) {
+	if k.ev.Seen == nil || len(es) == 0 {
+		return
+	}
+	ms := make([]dht.Member, 0, len(es))
+	for _, e := range es {
+		if e.Addr != "" {
+			ms = append(ms, dht.FromWire(e))
+		}
+	}
+	if len(ms) > 0 {
+		k.ev.Seen(ms...)
+	}
+}
+
+func (k *Kernel) traceEvent(kind, detail string) {
+	if k.trace != nil {
+		k.trace.Record(kind, k.self.Addr, detail)
+	}
+}
+
+// Name identifies the backend.
+func (k *Kernel) Name() string { return "chord" }
+
+// Self returns this node's identity.
+func (k *Kernel) Self() dht.Member { return k.self }
+
+// Owns reports whether key lies in (pred, self]. With no known predecessor
+// the node conservatively claims the key (the ring-of-one case).
+func (k *Kernel) Owns(key uint64) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.cs.OwnsKey(chord.ID(key))
+}
+
+// OwnsSettled is Owns with the no-predecessor claim removed: a freshly
+// joined node that has not yet learned its predecessor owns nothing for
+// replication purposes.
+func (k *Kernel) OwnsSettled(key uint64) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.cs.Predecessor().OK && k.cs.OwnsKey(chord.ID(key))
+}
+
+// Successor exposes the immediate successor (live status displays, ring
+// walk tests). Not part of the Kernel contract.
+func (k *Kernel) Successor() dht.Member {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return fromEntry(k.cs.Successor())
+}
+
+// Heir is the member that inherits this node's range on departure: the
+// immediate successor.
+func (k *Kernel) Heir() (dht.Member, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	succ := k.cs.Successor()
+	if !succ.OK || succ.Addr == k.self.Addr {
+		return dht.Member{}, false
+	}
+	return fromEntry(succ), true
+}
+
+// ReplicaSet returns the first r distinct live successors (never self).
+// Chord's replica placement is range-based, so the key argument is unused:
+// only the owner's own successors can be computed locally, which is exactly
+// the contract's "meaningful on the owner" caveat.
+func (k *Kernel) ReplicaSet(_ uint64, r int) []dht.Member {
+	if r <= 0 {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []dht.Member
+	for _, s := range k.cs.SuccessorList() {
+		if !s.OK || s.Addr == k.self.Addr {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o.Addr == s.Addr {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, fromEntry(s))
+		if len(out) == r {
+			break
+		}
+	}
+	return out
+}
+
+// View is self + successor list + predecessor, deduped by address, self
+// first. A view of size one means a ring of one.
+func (k *Kernel) View() []dht.Member {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	seen := map[string]bool{}
+	var out []dht.Member
+	add := func(e entryT) {
+		if !e.OK || seen[e.Addr] {
+			return
+		}
+		seen[e.Addr] = true
+		out = append(out, fromEntry(e))
+	}
+	add(k.cs.Self)
+	for _, e := range k.cs.SuccessorList() {
+		add(e)
+	}
+	add(k.cs.Predecessor())
+	return out
+}
+
+// PeerFailed purges a conclusively dead peer from the ring tables.
+func (k *Kernel) PeerFailed(addr string) {
+	k.mu.Lock()
+	k.cs.RemoveFailed(addr)
+	k.mu.Unlock()
+}
+
+// Observe is a no-op for Chord: ring pointers only move through the
+// Notify/stabilize protocol (arbitrary insertion would corrupt the ring
+// invariant), so passive sightings go to the host's member cache only.
+func (k *Kernel) Observe(dht.Member) bool { return false }
+
+// Stats reports the ring maintenance accounting.
+func (k *Kernel) Stats() dht.Stats {
+	k.mu.Lock()
+	changes, purged := k.cs.MaintenanceStats()
+	k.mu.Unlock()
+	return dht.Stats{
+		TableChanges:   changes,
+		FailuresPurged: purged,
+		Lookups:        k.lookups.Value(),
+		LookupHops:     k.lookupHops.Value(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+
+// FindOwner routes iteratively from this node to the owner of key. A dead
+// hop is purged by the Caller's failure handling and the route restarts, so
+// routing self-heals in step with stabilization. fallbacks are the owner's
+// successor list — the members that inherit the key if the owner dies.
+func (k *Kernel) FindOwner(key uint64) (dht.Member, []dht.Member, error) {
+	owner, succs, _, _, err := k.findOwner(key)
+	if err != nil {
+		return dht.Member{}, nil, err
+	}
+	return dht.FromWire(owner), membersFromWire(succs), nil
+}
+
+// FindOwnerFrom is FindOwner routed through start's tables instead of this
+// node's own (census confirmation through a foreign member).
+func (k *Kernel) FindOwnerFrom(start string, key uint64) (dht.Member, []dht.Member, error) {
+	owner, succs, _, _, err := k.findOwnerFrom(start, key)
+	if err != nil {
+		return dht.Member{}, nil, err
+	}
+	return dht.FromWire(owner), membersFromWire(succs), nil
+}
+
+func membersFromWire(es []wire.Entry) []dht.Member {
+	out := make([]dht.Member, 0, len(es))
+	for _, e := range es {
+		out = append(out, dht.FromWire(e))
+	}
+	return out
+}
+
+func (k *Kernel) findOwner(key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		k.mu.Lock()
+		hop, done := k.cs.NextHop(chord.ID(key))
+		k.mu.Unlock()
+		if done && hop.Addr == k.self.Addr {
+			// We own it ourselves: answer from local state.
+			st := k.getState()
+			k.lookups.Inc()
+			return k.selfWire(), st.Succs, st.Pred, st.PredOK, nil
+		}
+		owner, succs, pred, predOK, err = k.findOwnerFrom(hop.Addr, key)
+		if err == nil {
+			return owner, succs, pred, predOK, nil
+		}
+		select {
+		case <-k.done:
+			return wire.Entry{}, nil, wire.Entry{}, false, err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return wire.Entry{}, nil, wire.Entry{}, false, err
+}
+
+// findOwnerFrom iterates FindSuccessor starting at a remote node. Each hop
+// is retried by the Caller (routing reads are idempotent); a hop that stays
+// dead surfaces as an error and findOwner re-routes around it.
+func (k *Kernel) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
+	cur := start
+	for hops := 0; hops < 2*chord.M; hops++ {
+		resp, cerr := k.call.CallIdem(cur, &wire.FindSuccessor{Key: key})
+		if cerr != nil {
+			return wire.Entry{}, nil, wire.Entry{}, false, cerr
+		}
+		fs, ok := resp.(*wire.FindSuccessorResp)
+		if !ok {
+			return wire.Entry{}, nil, wire.Entry{}, false, errUnexpected
+		}
+		if fs.Done {
+			k.traceEvent("lookup.route", fmt.Sprintf("key=%016x hops=%d owner=%s", key, hops+1, fs.Owner.Addr))
+			k.lookups.Inc()
+			k.lookupHops.Add(uint64(hops + 1))
+			k.hopHist.Observe(float64(hops + 1))
+			k.seen(fs.Owner)
+			k.seen(fs.Succs...)
+			return fs.Owner, fs.Succs, fs.Pred, fs.OK, nil
+		}
+		if fs.Owner.Addr == "" || fs.Owner.Addr == cur {
+			return wire.Entry{}, nil, wire.Entry{}, false, fmt.Errorf("%w (chord: no progress at %s)", dht.ErrNoRoute, cur)
+		}
+		cur = fs.Owner.Addr
+	}
+	return wire.Entry{}, nil, wire.Entry{}, false, fmt.Errorf("%w (chord: hop bound exceeded)", dht.ErrNoRoute)
+}
+
+var errUnexpected = fmt.Errorf("chordkern: unexpected response kind")
+
+// ---------------------------------------------------------------------------
+// Join / leave / merge.
+
+// Join attaches through bootstrap: route to our own ID's owner, adopt it as
+// successor (with its list and predecessor), then notify it.
+func (k *Kernel) Join(bootstrap string) error {
+	owner, succs, pred, predOK, err := k.findOwnerFrom(bootstrap, k.self.ID)
+	if err != nil {
+		return err
+	}
+	k.mu.Lock()
+	oe := entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true}
+	k.cs.SetSuccessor(oe)
+	if len(succs) > 0 {
+		var list []entryT
+		for _, e := range succs {
+			list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+		}
+		k.cs.AdoptSuccessorList(oe, list)
+	}
+	if predOK {
+		k.cs.SetPredecessor(entryT{ID: chord.ID(pred.ID), Addr: pred.Addr, OK: true})
+	}
+	k.mu.Unlock()
+	if predOK {
+		k.seen(pred)
+	}
+	// The first notify is best-effort: stabilization re-notifies every
+	// cycle, so a dropped message must not fail an otherwise good join.
+	if owner.Addr != k.self.Addr {
+		_, _ = k.call.CallIdem(owner.Addr, &wire.Notify{From: k.selfWire()})
+	}
+	return nil
+}
+
+// Leave runs the ring-unlink half of a graceful departure: tell the
+// successor who its new predecessor is and the predecessor what its new
+// successor list is. Index handoff is the host's job (it goes to Heir).
+func (k *Kernel) Leave() {
+	k.mu.Lock()
+	succ := k.cs.Successor()
+	pred := k.cs.Predecessor()
+	var succList []wire.Entry
+	for _, e := range k.cs.SuccessorList() {
+		succList = append(succList, wireEntry(e))
+	}
+	k.mu.Unlock()
+	if !succ.OK || succ.Addr == k.self.Addr {
+		return
+	}
+	leave := &wire.Leave{From: k.selfWire()}
+	if pred.OK {
+		leave.NewPred = wireEntry(pred)
+		leave.PredOK = true
+	}
+	_, _ = k.call.Call(succ.Addr, leave)
+	if pred.OK && pred.Addr != k.self.Addr {
+		_, _ = k.call.Call(pred.Addr, &wire.Leave{From: k.selfWire(), NewSucc: succList})
+	}
+}
+
+// Merge folds a confirmed foreign ring into the local tables via the
+// monotone MergeCandidate repairs, then seeds the stabilize cascade by
+// notifying the (possibly new) successor and the foreign owner — our ID
+// lies in its claimed range, so its Notify rule adopts us as predecessor,
+// which its next stabilize round propagates backward around that ring.
+func (k *Kernel) Merge(target dht.Member, others []dht.Member) {
+	k.mu.Lock()
+	k.cs.MergeCandidate(toEntry(target))
+	for _, m := range others {
+		if m.Addr == "" || m.Addr == k.self.Addr {
+			continue
+		}
+		k.cs.MergeCandidate(toEntry(m))
+	}
+	succ := k.cs.Successor()
+	k.mu.Unlock()
+	if succ.OK && succ.Addr != k.self.Addr {
+		_, _ = k.call.Call(succ.Addr, &wire.Notify{From: k.selfWire()})
+	}
+	if target.Addr != succ.Addr && target.Addr != k.self.Addr {
+		_, _ = k.call.Call(target.Addr, &wire.Notify{From: k.selfWire()})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance ticks.
+
+// Ticks lists the Chord maintenance steps: stabilize (which includes the
+// predecessor liveness probe) and one-finger-per-tick repair.
+func (k *Kernel) Ticks() []dht.Tick {
+	return []dht.Tick{
+		{Name: "stabilize", Every: k.cfg.StabilizeEvery, Fn: k.stabilize},
+		{Name: "fix_fingers", Every: k.cfg.FixFingersEvery, Fn: k.fixFinger},
+	}
+}
+
+func (k *Kernel) stabilize() {
+	k.stabilizeRuns.Inc()
+	k.traceEvent("ring.stabilize", "")
+	k.checkPredecessor()
+	k.mu.Lock()
+	succ := k.cs.Successor()
+	if succ.Addr == k.self.Addr {
+		// Ring of one: when the first peer notifies us it becomes our
+		// predecessor; adopting it as successor closes the two-node ring
+		// (the standard Chord bootstrap step).
+		if p := k.cs.Predecessor(); p.OK && p.Addr != k.self.Addr {
+			k.cs.SetSuccessor(p)
+		}
+		k.mu.Unlock()
+		return
+	}
+	k.mu.Unlock()
+	if !succ.OK {
+		return
+	}
+	resp, err := k.call.Call(succ.Addr, &wire.GetState{})
+	if err != nil {
+		// The Caller already fed the breaker and invoked PeerFailed if the
+		// evidence was conclusive; a lone drop just waits for next tick.
+		return
+	}
+	st, ok := resp.(*wire.GetStateResp)
+	if !ok {
+		return
+	}
+	k.mu.Lock()
+	cur := k.cs.Successor()
+	if cur.Addr == succ.Addr {
+		if st.PredOK && st.Pred.Addr != k.self.Addr && chord.InOO(k.cs.Self.ID, chord.ID(st.Pred.ID), succ.ID) {
+			k.cs.SetSuccessor(entryT{ID: chord.ID(st.Pred.ID), Addr: st.Pred.Addr, OK: true})
+		} else {
+			var list []entryT
+			for _, e := range st.Succs {
+				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+			}
+			k.cs.AdoptSuccessorList(succ, list)
+		}
+	}
+	target := k.cs.Successor()
+	k.mu.Unlock()
+	// Passive sightings: every stabilize answer names live ring members
+	// worth remembering for the census.
+	if st.PredOK {
+		k.seen(st.Pred)
+	}
+	k.seen(st.Succs...)
+	if target.OK && target.Addr != k.self.Addr {
+		_, _ = k.call.Call(target.Addr, &wire.Notify{From: k.selfWire()})
+	}
+}
+
+// checkPredecessor is Chord's check_predecessor: ping the predecessor so a
+// dead one accumulates conclusive failure evidence. The Caller's
+// condemnation path invokes PeerFailed, which clears the predecessor —
+// without this probe, a dead predecessor is forever re-advertised to the
+// node behind it and the ring never heals.
+func (k *Kernel) checkPredecessor() {
+	k.mu.Lock()
+	pred := k.cs.Predecessor()
+	k.mu.Unlock()
+	if !pred.OK || pred.Addr == k.self.Addr {
+		return
+	}
+	_, _ = k.call.Call(pred.Addr, &wire.Ping{})
+}
+
+func (k *Kernel) fixFinger() {
+	k.mu.Lock()
+	i, start := k.cs.NextFingerToFix()
+	k.mu.Unlock()
+	owner, _, _, _, err := k.findOwner(uint64(start))
+	if err != nil {
+		return
+	}
+	k.fingerFixes.Inc()
+	k.mu.Lock()
+	k.cs.SetFinger(i, entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
+	k.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Inbound protocol.
+
+// HandleRPC serves the Chord protocol messages; anything else is the
+// host's.
+func (k *Kernel) HandleRPC(from string, req wire.Message) (wire.Message, bool) {
+	switch m := req.(type) {
+	case *wire.FindSuccessor:
+		return k.onFindSuccessor(m), true
+	case *wire.GetState:
+		return k.getState(), true
+	case *wire.Notify:
+		return k.onNotify(m), true
+	case *wire.Leave:
+		return k.onLeave(m), true
+	default:
+		return nil, false
+	}
+}
+
+func (k *Kernel) onFindSuccessor(m *wire.FindSuccessor) wire.Message {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	hop, done := k.cs.NextHop(chord.ID(m.Key))
+	resp := &wire.FindSuccessorResp{
+		Done:  done && hop.Addr == k.self.Addr,
+		Owner: wireEntry(hop),
+	}
+	if resp.Done {
+		for _, e := range k.cs.SuccessorList() {
+			resp.Succs = append(resp.Succs, wireEntry(e))
+		}
+		if p := k.cs.Predecessor(); p.OK {
+			resp.Pred = wireEntry(p)
+			resp.OK = true
+		}
+	} else if done {
+		// The successor owns the key: the caller should finish there.
+		resp.Done = false
+	}
+	return resp
+}
+
+func (k *Kernel) getState() *wire.GetStateResp {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	resp := &wire.GetStateResp{}
+	if p := k.cs.Predecessor(); p.OK {
+		resp.Pred = wireEntry(p)
+		resp.PredOK = true
+	}
+	for _, e := range k.cs.SuccessorList() {
+		resp.Succs = append(resp.Succs, wireEntry(e))
+	}
+	return resp
+}
+
+func (k *Kernel) onNotify(m *wire.Notify) wire.Message {
+	cand := entryT{ID: chord.ID(m.From.ID), Addr: m.From.Addr, OK: true}
+	k.mu.Lock()
+	adopted := k.cs.Notify(cand)
+	k.mu.Unlock()
+	k.seen(m.From)
+	if adopted && k.ev.RangeChanged != nil {
+		// Part of our range now belongs to the new predecessor; the host
+		// hands off the index entries it no longer owns.
+		k.ev.RangeChanged(dht.FromWire(m.From))
+	}
+	return &wire.Ack{}
+}
+
+func (k *Kernel) onLeave(m *wire.Leave) wire.Message {
+	k.mu.Lock()
+	if m.NewSucc != nil {
+		k.cs.RemoveFailed(m.From.Addr)
+		var list []entryT
+		for _, e := range m.NewSucc {
+			if e.Addr != m.From.Addr && e.Addr != k.self.Addr {
+				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+			}
+		}
+		if len(list) > 0 {
+			k.cs.AdoptSuccessorList(list[0], list[1:])
+		}
+	} else {
+		if p := k.cs.Predecessor(); p.OK && p.Addr == m.From.Addr {
+			if m.PredOK {
+				k.cs.SetPredecessor(entryT{ID: chord.ID(m.NewPred.ID), Addr: m.NewPred.Addr, OK: true})
+			} else {
+				k.cs.ClearPredecessor()
+			}
+		}
+	}
+	k.mu.Unlock()
+	if k.ev.Departed != nil {
+		// Graceful departure is the one conclusive "gone for good" signal;
+		// the host drops the leaver's replica slice and forgets it.
+		k.ev.Departed(dht.FromWire(m.From))
+	}
+	return &wire.Ack{}
+}

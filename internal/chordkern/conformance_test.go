@@ -1,0 +1,20 @@
+package chordkern_test
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/chordkern"
+	"dco/internal/dht"
+	"dco/internal/dht/dhttest"
+)
+
+func TestConformance(t *testing.T) {
+	dhttest.Run(t, func(opts dht.Options) dht.Kernel {
+		return chordkern.New(chordkern.Config{
+			SuccListSize:    4,
+			StabilizeEvery:  10 * time.Millisecond,
+			FixFingersEvery: 5 * time.Millisecond,
+		}, opts)
+	})
+}

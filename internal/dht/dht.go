@@ -1,0 +1,220 @@
+// Package dht defines the backend-neutral key-routing substrate the live
+// DCO node runs on. The paper's chunk-driven overlay only needs a handful
+// of operations from its DHT — route a key to its owning coordinator, test
+// ownership locally, enumerate the members that should replicate a key,
+// join/leave, and surface membership changes — so those operations are the
+// whole contract here. internal/chordkern implements it with the Chord ring
+// the paper assumes; internal/kademlia implements it with XOR-metric
+// k-buckets and iterative parallel lookups. internal/live is written
+// against this package only and never names a backend type.
+//
+// Division of labor: a Kernel owns the routing tables and the maintenance
+// protocol (stabilization or bucket refresh), but performs no I/O of its
+// own — every RPC goes through the Caller the host node supplies, which is
+// where timeouts, retries, circuit breaking, and failure condemnation
+// live. The host learns about membership changes through Events callbacks.
+//
+// Locking contract (what keeps the host's mutex and the kernel's internal
+// mutex from deadlocking): kernel methods the host may call while holding
+// its own lock — Self, Owns, View, ReplicaSet, Heir, Stats — are pure
+// local reads that never block, never call the Caller, and never fire
+// Events. Methods that do I/O (Join, Leave, FindOwner*, Merge, the Ticks)
+// and HandleRPC may fire Events and use the Caller, but never while
+// holding the kernel's internal lock; the host's Events handlers are free
+// to take the host lock and call the pure-read methods back.
+package dht
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"dco/internal/telemetry"
+	"dco/internal/wire"
+)
+
+// Member names one overlay participant: its position in the shared 64-bit
+// key space and its dialable transport address.
+type Member struct {
+	ID   uint64
+	Addr string
+}
+
+// Wire converts a member to its wire representation.
+func (m Member) Wire() wire.Entry { return wire.Entry{ID: m.ID, Addr: m.Addr} }
+
+// FromWire converts a wire entry to a member.
+func FromWire(e wire.Entry) Member { return Member{ID: e.ID, Addr: e.Addr} }
+
+// IDOf maps a node address onto the key space. Both backends share it (and
+// it matches the chunk-key hash family), so a deployment can switch
+// backends without nodes changing identity.
+func IDOf(addr string) uint64 {
+	sum := sha1.Sum([]byte("live-node-" + addr))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Caller is the RPC seam the host node supplies. Both calls block until a
+// reply, an error, or the host's timeout; the host's failure handling
+// (breaker accounting, conclusive-death condemnation feeding back into
+// Kernel.PeerFailed) runs inside them, so a kernel never reasons about
+// liveness policy itself.
+type Caller interface {
+	// Call performs one single-shot RPC: no retry. The right shape for
+	// maintenance probes, where a failure is itself the signal.
+	Call(addr string, req wire.Message) (wire.Message, error)
+	// CallIdem performs a retried RPC for idempotent requests (routing
+	// steps are reads; they qualify).
+	CallIdem(addr string, req wire.Message) (wire.Message, error)
+}
+
+// Events are the host's subscriptions to membership activity. Any field
+// may be nil. Kernels fire them without holding internal locks (see the
+// package comment); handlers may block briefly but must not call back into
+// kernel methods that do I/O.
+type Events struct {
+	// Seen reports members sighted in protocol traffic (routing answers,
+	// notifies, joins). The host feeds its census member cache from it.
+	Seen func(ms ...Member)
+	// RangeChanged reports that part of this node's key range now belongs
+	// to newOwner (a closer member appeared). The host hands off index
+	// entries it no longer owns.
+	RangeChanged func(newOwner Member)
+	// Departed reports a member's graceful leave — the one conclusive
+	// "gone for good" signal (abrupt unreachability may be a partition).
+	Departed func(m Member)
+}
+
+// Tick is one periodic maintenance step the host schedules on the kernel's
+// behalf (the host owns goroutine lifecycle; kernels stay passive).
+type Tick struct {
+	Name  string
+	Every time.Duration
+	Fn    func()
+}
+
+// Stats is a kernel's maintenance accounting, backend-interpreted:
+// TableChanges counts routing-table repairs (Chord: successor changes;
+// Kademlia: bucket insertions), FailuresPurged counts dead peers removed,
+// Lookups and LookupHops aggregate FindOwner routing work (hops per lookup
+// is also exported as the dco_dht_lookup_hops histogram).
+type Stats struct {
+	TableChanges   uint64
+	FailuresPurged uint64
+	Lookups        uint64
+	LookupHops     uint64
+}
+
+// Options carries the host-supplied plumbing every backend needs; backend
+// tuning lives in each backend's own Config struct.
+type Options struct {
+	Self     Member
+	Caller   Caller
+	Events   Events
+	Registry *telemetry.Registry
+	Trace    *telemetry.Trace
+	// Done is closed when the host shuts down; kernels abort in-progress
+	// waits (routing retries, lookup rounds) instead of finishing them.
+	// nil means never.
+	Done <-chan struct{}
+}
+
+// HopBuckets are the shared dco_dht_lookup_hops histogram bounds: routing
+// path lengths, not latencies. Both backends register the histogram with
+// these bounds so the dhtcompare bench can aggregate them directly.
+var HopBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// Kernel is the DHT backend contract. Implementations are safe for
+// concurrent use.
+type Kernel interface {
+	// Name identifies the backend ("chord", "kademlia").
+	Name() string
+
+	// Self returns this node's identity. Pure read.
+	Self() Member
+
+	// Owns reports whether this node is key's coordinator under the
+	// backend's ownership rule (Chord: key in (pred, self]; Kademlia: no
+	// known live contact XOR-closer than self). Pure read; conservative
+	// under incomplete tables — maintenance converges it.
+	Owns(key uint64) bool
+
+	// OwnsSettled is Owns minus the conservative bootstrap claim: false
+	// unless the routing tables hold positive evidence of ownership
+	// (Chord: a known predecessor bounding the range; Kademlia: at least
+	// one live contact, none of them closer). The replication layer uses
+	// it so a freshly joined node does not fold other owners' replicated
+	// entries into its own index. Pure read.
+	OwnsSettled(key uint64) bool
+
+	// FindOwner routes from this node to key's owner. fallbacks are the
+	// members to try if the owner is unreachable, nearest-responsibility
+	// first (Chord: the owner's successor list; Kademlia: the next
+	// closest members from the lookup shortlist). Performs RPCs.
+	FindOwner(key uint64) (owner Member, fallbacks []Member, err error)
+
+	// FindOwnerFrom is FindOwner routed through start instead of this
+	// node's own tables — the census uses it to probe a foreign network
+	// through one of its members. Performs RPCs.
+	FindOwnerFrom(start string, key uint64) (owner Member, fallbacks []Member, err error)
+
+	// ReplicaSet returns up to r distinct live members (never self) that
+	// should mirror key's index entries. Only meaningful on the key's
+	// owner (Chord cannot compute another owner's successors locally);
+	// non-owners may get a best-effort or empty answer. Pure read.
+	ReplicaSet(key uint64, r int) []Member
+
+	// Join attaches this node to the overlay through bootstrap. Performs
+	// RPCs; an error means this bootstrap did not work (try another).
+	Join(bootstrap string) error
+
+	// Leave runs the backend's graceful-departure protocol (Chord:
+	// re-link neighbors; Kademlia: best-effort goodbye so buckets drop
+	// this node early). The host hands off its index separately, to Heir.
+	// Performs RPCs.
+	Leave()
+
+	// Heir returns the member that inherits this node's key range when it
+	// departs (ok=false on a lone node). Pure read.
+	Heir() (m Member, ok bool)
+
+	// PeerFailed purges a conclusively dead peer from the routing tables.
+	// The host calls it from its failure-condemnation path; maintenance
+	// re-adds the peer if it was only a hiccup after all.
+	PeerFailed(addr string)
+
+	// Observe passively records a sighted member (Kademlia: bucket
+	// insert; Chord: no-op — its ring pointers only move through the
+	// Notify/stabilize protocol). Returns whether the tables changed.
+	// Local only, no RPCs.
+	Observe(m Member) bool
+
+	// View is this node's bounded membership view (self always included)
+	// — the census exchanges and compares it to detect split networks.
+	// Pure read.
+	View() []Member
+
+	// Merge folds a confirmed foreign network into this node's tables —
+	// target is the foreign member whose range covers this node's ID,
+	// others its advertised view — and seeds the backend's convergence
+	// (Chord: monotone candidate folds + notifies; Kademlia: bucket
+	// inserts + a self-lookup that advertises this node). Performs RPCs.
+	Merge(target Member, others []Member)
+
+	// Ticks lists the kernel's periodic maintenance steps for the host to
+	// schedule.
+	Ticks() []Tick
+
+	// HandleRPC serves one inbound protocol message. ok=false means the
+	// message is not this kernel's (the host dispatches it elsewhere).
+	// Runs on transport goroutines.
+	HandleRPC(from string, req wire.Message) (resp wire.Message, ok bool)
+
+	// Stats reports maintenance accounting. Pure read.
+	Stats() Stats
+}
+
+// ErrNoRoute is returned by FindOwner when routing cannot reach an owner
+// (no live contacts, no progress, or the hop bound tripped).
+var ErrNoRoute = errors.New("dht: no route to key owner")

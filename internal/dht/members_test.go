@@ -1,0 +1,101 @@
+package dht
+
+import (
+	"testing"
+	"time"
+)
+
+func at(s int) time.Time { return time.Unix(int64(s), 0) }
+
+func mm(id uint64, addr string) Member { return Member{ID: id, Addr: addr} }
+
+func TestMemberCacheNeverStoresSelf(t *testing.T) {
+	c := NewMemberCache("a", 4)
+	c.Note(mm(100, "a"), at(0)) // self
+	c.Note(mm(5, ""), at(0))    // empty address
+	if c.Len() != 0 {
+		t.Fatalf("cache stored self or an empty entry: len=%d", c.Len())
+	}
+}
+
+func TestMemberCacheDedupesByAddr(t *testing.T) {
+	c := NewMemberCache("a", 4)
+	c.Note(mm(100, "b"), at(1))
+	c.Note(mm(100, "b"), at(2))
+	c.Note(mm(777, "b"), at(3)) // same addr, new ID: refresh, not grow
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	m := c.Members()
+	if len(m) != 1 || m[0].ID != 777 {
+		t.Fatalf("members = %v, want single entry with refreshed ID 777", m)
+	}
+}
+
+func TestMemberCacheEvictsOldestSeen(t *testing.T) {
+	c := NewMemberCache("a", 3)
+	c.Note(mm(10, "b"), at(10))
+	c.Note(mm(20, "c"), at(20))
+	c.Note(mm(30, "d"), at(30))
+	// Refresh the oldest so it is no longer the eviction victim.
+	c.Note(mm(10, "b"), at(40))
+	// Insert beyond capacity: addr "c" (seen at 20) must go.
+	c.Note(mm(50, "e"), at(50))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", c.Len())
+	}
+	for _, m := range c.Members() {
+		if m.Addr == "c" {
+			t.Fatal("oldest-seen member (addr c) survived eviction")
+		}
+	}
+	found := false
+	for _, m := range c.Members() {
+		if m.Addr == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("refreshed member (addr b) was evicted despite newest sighting")
+	}
+}
+
+func TestMemberCacheMembersSortedByID(t *testing.T) {
+	c := NewMemberCache("a", 8)
+	for _, m := range []Member{mm(300, "b"), mm(100, "c"), mm(200, "d")} {
+		c.Note(m, at(0))
+	}
+	got := c.Members()
+	if len(got) != 3 || got[0].ID != 100 || got[1].ID != 200 || got[2].ID != 300 {
+		t.Fatalf("members not sorted by ID: %v", got)
+	}
+}
+
+func TestMemberCacheForget(t *testing.T) {
+	c := NewMemberCache("a", 4)
+	c.Note(mm(10, "b"), at(0))
+	c.Forget("b")
+	if c.Len() != 0 {
+		t.Fatalf("len after Forget = %d, want 0", c.Len())
+	}
+}
+
+func TestMemberCacheCapFloor(t *testing.T) {
+	c := NewMemberCache("a", 0)
+	c.Note(mm(10, "b"), at(0))
+	c.Note(mm(20, "c"), at(1))
+	if c.Len() != 1 {
+		t.Fatalf("capacity floor of 1 not enforced: len=%d", c.Len())
+	}
+}
+
+func TestIDOfMatchesHashFamily(t *testing.T) {
+	// Node identity must be stable across backends and releases: the seed
+	// deployments hashed "live-node-"+addr with SHA-1/first-8-bytes.
+	if IDOf("x") == IDOf("y") {
+		t.Fatal("distinct addresses collided")
+	}
+	if IDOf("mem://1") != IDOf("mem://1") {
+		t.Fatal("IDOf not deterministic")
+	}
+}

@@ -1,0 +1,21 @@
+package kademlia_test
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/dht"
+	"dco/internal/dht/dhttest"
+	"dco/internal/kademlia"
+)
+
+func TestConformance(t *testing.T) {
+	dhttest.Run(t, func(opts dht.Options) dht.Kernel {
+		return kademlia.New(kademlia.Config{
+			K:            16,
+			Alpha:        3,
+			RefreshEvery: 40 * time.Millisecond,
+			ProbeEvery:   10 * time.Millisecond,
+		}, opts)
+	})
+}

@@ -145,7 +145,7 @@ func TestPacerRefundRestoresBudget(t *testing.T) {
 func TestPacerUnlimited(t *testing.T) {
 	p := newPacer(0, 0, 0)
 	for i := 0; i < 100; i++ {
-		if wait, _, ok := p.admit(1 << 20, 0); !ok || wait != 0 {
+		if wait, _, ok := p.admit(1<<20, 0); !ok || wait != 0 {
 			t.Fatalf("unlimited pacer paced or shed: wait=%v ok=%v", wait, ok)
 		}
 	}

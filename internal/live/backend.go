@@ -1,0 +1,137 @@
+package live
+
+// backend.go is the one place the live node names a DHT backend type:
+// the Config.DHT -> dht.Kernel factory, the Caller adapter that routes
+// kernel RPCs through the node's retry/breaker stack, and the Events
+// handlers that feed kernel membership activity back into the census
+// cache, the index handoff path, and the replica store.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dco/internal/chordkern"
+	"dco/internal/dht"
+	"dco/internal/kademlia"
+	"dco/internal/wire"
+)
+
+// defaultDHT resolves the backend when Config.DHT is unset: the DCO_DHT
+// environment variable (which is also how CI matrixes the whole test
+// suite over both backends), else chord.
+func defaultDHT() string {
+	if v := os.Getenv("DCO_DHT"); v != "" {
+		return v
+	}
+	return "chord"
+}
+
+// newKernel builds the configured DHT backend. Called once from NewNode,
+// after the transport, metrics, and retrier exist (the kernel shares the
+// node's registry and calls through its breaker).
+func (n *Node) newKernel() (dht.Kernel, error) {
+	opts := dht.Options{
+		Self:   n.self,
+		Caller: nodeCaller{n},
+		Events: dht.Events{
+			Seen:         n.onKernSeen,
+			RangeChanged: n.onKernRangeChanged,
+			Departed:     n.onKernDeparted,
+		},
+		Registry: n.lm.reg,
+		Trace:    n.cfg.Trace,
+		Done:     n.closed,
+	}
+	backend := n.cfg.DHT
+	if backend == "" {
+		backend = defaultDHT()
+	}
+	switch backend {
+	case "chord":
+		return chordkern.New(chordkern.Config{
+			SuccListSize:    n.cfg.SuccListSize,
+			StabilizeEvery:  n.cfg.StabilizeEvery,
+			FixFingersEvery: n.cfg.FixFingersEvery,
+		}, opts), nil
+	case "kademlia":
+		refresh := n.cfg.KadRefreshEvery
+		if refresh <= 0 {
+			refresh = 4 * n.cfg.StabilizeEvery
+		}
+		return kademlia.New(kademlia.Config{
+			K:            n.cfg.KadK,
+			Alpha:        n.cfg.KadAlpha,
+			RefreshEvery: refresh,
+			ProbeEvery:   n.cfg.StabilizeEvery,
+		}, opts), nil
+	default:
+		return nil, fmt.Errorf("live: unknown DHT backend %q (want chord or kademlia)", backend)
+	}
+}
+
+// nodeCaller adapts the node's RPC stack to the dht.Caller seam: kernel
+// calls get the same timeouts, retries, breaker accounting, and failure
+// condemnation (feeding Kernel.PeerFailed) as the node's own traffic.
+type nodeCaller struct{ n *Node }
+
+func (c nodeCaller) Call(addr string, req wire.Message) (wire.Message, error) {
+	return c.n.call(addr, req)
+}
+
+func (c nodeCaller) CallIdem(addr string, req wire.Message) (wire.Message, error) {
+	return c.n.callIdem(addr, req)
+}
+
+// onKernSeen feeds members the kernel sighted in protocol traffic into
+// the census member cache. The kernel already observed them itself, so
+// only the cache is updated here.
+func (n *Node) onKernSeen(ms ...dht.Member) {
+	now := time.Now()
+	n.mu.Lock()
+	for _, m := range ms {
+		n.members.Note(m, now)
+	}
+	n.mu.Unlock()
+}
+
+// onKernRangeChanged hands off index entries this node no longer owns
+// after part of its key range moved to newOwner (Chord: a Notify adopted
+// a closer predecessor; Kademlia: a closer contact joined). The transfer
+// is asynchronous and retried — handoff merges are idempotent, and a lost
+// handoff only delays re-registration.
+func (n *Node) onKernRangeChanged(newOwner dht.Member) {
+	if newOwner.Addr == "" || newOwner.Addr == n.self.Addr {
+		return
+	}
+	n.mu.Lock()
+	var moved []wire.HandoffEntry
+	for seq, e := range n.index {
+		key := uint64(n.cfg.Channel.Ref(seq).ID())
+		if n.kern.Owns(key) {
+			continue
+		}
+		he := wire.HandoffEntry{Key: key, Seq: seq}
+		for _, p := range e.providers {
+			he.Providers = append(he.Providers, p.ent)
+		}
+		moved = append(moved, he)
+		delete(n.index, seq)
+	}
+	n.mu.Unlock()
+	if len(moved) > 0 {
+		go func() { _, _ = n.callIdem(newOwner.Addr, &wire.Handoff{Entries: moved}) }()
+	}
+}
+
+// onKernDeparted reacts to a member's graceful leave — the one conclusive
+// "gone for good" signal (abrupt unreachability may be a partition). The
+// leaver handed its index to its heir, so whatever slice of it was
+// replicated here is stale; drop it rather than promote it later, and
+// forget the member in the census cache.
+func (n *Node) onKernDeparted(m dht.Member) {
+	n.mu.Lock()
+	delete(n.replicas, m.Addr)
+	n.members.Forget(m.Addr)
+	n.mu.Unlock()
+}

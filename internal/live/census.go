@@ -2,35 +2,37 @@ package live
 
 // Ring census & split-brain merge (see DESIGN.md, "Partitions & ring merge").
 //
-// A transient network partition bisects the Chord ring into two
-// self-consistent rings. Stabilization alone can never re-merge them: each
-// half's tables only reference members of that half, and every maintenance
-// action preserves whatever ring the node is on. Three pieces close the
-// hole:
+// A transient network partition bisects the overlay into two
+// self-consistent networks. Routine maintenance alone can never re-merge
+// them: each half's tables only reference members of that half, and every
+// maintenance action preserves whatever network the node is on. Three
+// pieces close the hole, all backend-neutral:
 //
-//  1. A bounded member cache (chord.MemberCache) remembers previously-seen
-//     members, fed passively from successor lists, lookups, and replication
+//  1. A bounded member cache (dht.MemberCache) remembers previously-seen
+//     members, fed passively from the kernel's Seen events and live-plane
 //     traffic — and deliberately NOT purged when a member becomes
 //     unreachable, since an unreachable member may be on the far side of a
 //     partition.
 //  2. A periodic low-rate census probes a few cached members outside the
-//     current ring view. A probe answered by a member absent from our view
-//     whose view is likewise missing us flags a suspected split; routing
-//     this node's own ID through the foreign member confirms it (in a
-//     single ring that lookup lands back on self).
-//  3. A merge folds the foreign owner into the local tables via the
-//     monotone chord.State.MergeCandidate and notifies both sides, seeding
-//     the normal Notify/stabilize cascade that converges the two rings into
-//     one without livelock. Post-merge, index reconciliation (replication
-//     flush + anti-entropy + bounded re-registration) repairs ownership
-//     ranges immediately instead of waiting for republish rotation.
+//     current membership view (Kernel.View). A probe answered by a member
+//     absent from our view whose view is likewise missing us flags a
+//     suspected split; routing this node's own ID through the foreign
+//     member (Kernel.FindOwnerFrom) confirms it — in a single network that
+//     lookup lands back on self (Chord: the ring closes; Kademlia: self is
+//     XOR-distance zero from its own ID, and its neighbors know it).
+//  3. Kernel.Merge folds the foreign network into the local tables and
+//     seeds the backend's convergence cascade (Chord: monotone candidate
+//     folds + notifies; Kademlia: bucket inserts + an advertising
+//     self-lookup). Post-merge, index reconciliation (replication flush +
+//     anti-entropy + bounded re-registration) repairs ownership ranges
+//     immediately instead of waiting for republish rotation.
 
 import (
 	"fmt"
 	"sort"
 	"time"
 
-	"dco/internal/chord"
+	"dco/internal/dht"
 	"dco/internal/wire"
 )
 
@@ -38,16 +40,22 @@ import (
 // reconciliation re-sends; the republish rotation covers the remainder.
 const maxReconcileInserts = 512
 
-// noteMembersLocked records sightings of ring members in the census member
-// cache. Caller holds n.mu; handlers already under the lock use this
-// variant, everything else goes through noteMembers.
+// noteMembersLocked records sightings of overlay members in the census
+// member cache. Deliberately NOT fed to the kernel: live-plane entries
+// (insert holders, census views) are third-party claims, and a Kademlia
+// routing table only admits contacts it heard from directly — its own
+// protocol traffic, lookup answers, and the confirmed Merge path. Letting
+// unverified claims shift XOR ownership would bounce in-flight index ops
+// off fabricated or stale members. Caller holds n.mu; handlers already
+// under the lock use this variant, everything else goes through
+// noteMembers.
 func (n *Node) noteMembersLocked(es ...wire.Entry) {
 	now := time.Now()
 	for _, e := range es {
 		if e.Addr == "" {
 			continue
 		}
-		n.members.Note(entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true}, now)
+		n.members.Note(dht.FromWire(e), now)
 	}
 }
 
@@ -58,30 +66,21 @@ func (n *Node) noteMembers(es ...wire.Entry) {
 	n.mu.Unlock()
 }
 
-// ringViewLocked is this node's current view of its ring: self, the
-// successor list, and the predecessor, deduped by address. Caller holds
-// n.mu. A view of size one means a self-ring (lone node).
+// ringViewLocked is this node's current membership view on the wire: the
+// kernel's View (self always first). Caller holds n.mu (View is a pure
+// read). A view of size one means a lone node.
 func (n *Node) ringViewLocked() []wire.Entry {
-	seen := map[string]bool{}
-	var out []wire.Entry
-	add := func(e entryT) {
-		if !e.OK || seen[e.Addr] {
-			return
-		}
-		seen[e.Addr] = true
-		out = append(out, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+	view := n.kern.View()
+	out := make([]wire.Entry, 0, len(view))
+	for _, m := range view {
+		out = append(out, m.Wire())
 	}
-	add(n.cs.Self)
-	for _, e := range n.cs.SuccessorList() {
-		add(e)
-	}
-	add(n.cs.Predecessor())
 	return out
 }
 
-// ringDigest hashes a ring view: FNV-1a over the member addresses in view
-// order (ringViewLocked's output is deterministic for a given state, so
-// equal views digest equally). Probe and response carry it so unchanged
+// ringDigest hashes a membership view: FNV-1a over the member addresses in
+// view order (ringViewLocked's output is deterministic for a given state,
+// so equal views digest equally). Probe and response carry it so unchanged
 // views compare in O(1).
 func ringDigest(view []wire.Entry) uint64 {
 	const (
@@ -100,7 +99,7 @@ func ringDigest(view []wire.Entry) uint64 {
 	return h
 }
 
-// viewHas reports whether a ring view contains addr.
+// viewHas reports whether a membership view contains addr.
 func viewHas(view []wire.Entry, addr string) bool {
 	for _, e := range view {
 		if e.Addr == addr {
@@ -113,20 +112,18 @@ func viewHas(view []wire.Entry, addr string) bool {
 // splitSuspected is the cheap split filter between this node's view and a
 // census peer's: suspicious when neither endpoint appears in the other's
 // view. Requiring the two views to be *fully* disjoint would be too
-// strong: successor-list tails go stale after a partition purge (only the
-// list head is ever called directly, so RemoveFailed never fires for
-// tails), and a single far-side breadcrumb lingering in one tail would
-// mask a real split forever. Mutual absence is only a *suspicion* —
-// distant nodes of one large ring also satisfy it — and maybeMerge's
-// confirmation lookup supplies the proof at the cost of one bounded
-// lookup per suspicion.
+// strong: view tails go stale after a partition purge, and a single
+// far-side breadcrumb lingering in one tail would mask a real split
+// forever. Mutual absence is only a *suspicion* — distant nodes of one
+// large network also satisfy it — and maybeMerge's confirmation lookup
+// supplies the proof at the cost of one bounded lookup per suspicion.
 func splitSuspected(self string, mine []wire.Entry, peer wire.Entry, theirs []wire.Entry) bool {
 	return !viewHas(mine, peer.Addr) && !viewHas(theirs, self)
 }
 
 // census is the periodic beacon loop: probe up to CensusProbes cached
-// members outside the current ring view and compare ring views. Probes use
-// the single-shot call path — a failed probe is itself the signal (the
+// members outside the current membership view and compare views. Probes
+// use the single-shot call path — a failed probe is itself the signal (the
 // member is still unreachable), and its breaker bookkeeping is how a
 // healed peer's circuit resets the moment a probe gets through.
 func (n *Node) census() {
@@ -136,13 +133,13 @@ func (n *Node) census() {
 	for _, e := range view {
 		inView[e.Addr] = true
 	}
-	var cands []entryT
+	var cands []dht.Member
 	for _, m := range n.members.Members() {
 		if !inView[m.Addr] {
 			cands = append(cands, m)
 		}
 	}
-	var targets []entryT
+	var targets []dht.Member
 	k := n.cfg.CensusProbes
 	if k > len(cands) {
 		k = len(cands)
@@ -173,29 +170,31 @@ func (n *Node) census() {
 		n.noteMembers(cr.From)
 		n.noteMembers(cr.Members...)
 		if lone {
-			// Lone-node recovery: a self-ring node re-bootstraps through any
+			// Lone-node recovery: a lone node re-bootstraps through any
 			// member that answers. No confirmation lookup — a lone node
 			// claims every key, so a stale far-side view could route the
-			// confirmation straight back here and fake "same ring" forever.
+			// confirmation straight back here and fake "same network"
+			// forever.
 			n.maybeMerge(cr.From, cr.Members, true)
 			continue
 		}
 		if cr.Digest == digest {
-			continue // identical view: same ring, nothing to do
+			continue // identical view: same network, nothing to do
 		}
 		if !splitSuspected(self.Addr, view, cr.From, cr.Members) {
-			continue // shared neighborhood: same ring, different vantage
+			continue // shared neighborhood: same network, different vantage
 		}
 		n.maybeMerge(cr.From, cr.Members, false)
 	}
 }
 
-// onCensusProbe answers a census probe with this node's ring view. The
-// response is built immediately (the prober is waiting on a transport
+// onCensusProbe answers a census probe with this node's membership view.
+// The response is built immediately (the prober is waiting on a transport
 // goroutine); split handling runs asynchronously, so a one-way probe heals
 // both halves — the responder detects the same disjointness the prober
-// will, and both merge toward each other (MergeCandidate's monotonicity is
-// what makes the simultaneous merges safe).
+// will, and both merge toward each other (Kernel.Merge is monotone /
+// idempotent per backend, which is what makes the simultaneous merges
+// safe).
 func (n *Node) onCensusProbe(m *wire.CensusProbe) wire.Message {
 	n.mu.Lock()
 	view := n.ringViewLocked()
@@ -215,12 +214,13 @@ func (n *Node) onCensusProbe(m *wire.CensusProbe) wire.Message {
 }
 
 // maybeMerge runs the split-brain merge protocol against a foreign member
-// whose ring view was disjoint from ours. Merge attempts are serialized by
-// the merging flag (detection fires concurrently from the census loop and
-// inbound probes); a skipped attempt is retried by the next census round.
+// whose membership view was disjoint from ours. Merge attempts are
+// serialized by the merging flag (detection fires concurrently from the
+// census loop and inbound probes); a skipped attempt is retried by the
+// next census round.
 //
-// lone skips the confirmation lookup: a self-ring node adopts any live
-// member directly (see census for why confirmation would be unsound there).
+// lone skips the confirmation lookup: a lone node adopts any live member
+// directly (see census for why confirmation would be unsound there).
 func (n *Node) maybeMerge(foreign wire.Entry, theirs []wire.Entry, lone bool) {
 	if foreign.Addr == "" || foreign.Addr == n.Addr() {
 		return
@@ -235,69 +235,49 @@ func (n *Node) maybeMerge(foreign wire.Entry, theirs []wire.Entry, lone bool) {
 	default:
 	}
 	start := time.Now()
-	n.mu.Lock()
-	selfID := uint64(n.cs.Self.ID)
-	n.mu.Unlock()
 
-	target := foreign
+	target := dht.FromWire(foreign)
 	if !lone {
 		// Confirmation: route our own ID through the foreign member. In a
-		// single ring (however large — distant nodes legitimately have
+		// single network (however large — distant nodes legitimately have
 		// disjoint views) the lookup lands back on this node; a stranger
-		// answering proves the foreign member is on another ring, and that
-		// stranger is exactly the node whose claimed range covers our ID —
-		// the one node guaranteed to adopt us on Notify.
-		owner, _, _, _, err := n.findOwnerFrom(foreign.Addr, selfID)
+		// answering proves the foreign member is on another network, and
+		// that stranger is exactly the node whose claimed range covers our
+		// ID — the one node guaranteed to adopt us into its tables.
+		owner, _, err := n.kern.FindOwnerFrom(foreign.Addr, n.self.ID)
 		if err != nil {
 			return // unreachable or mid-churn: the next census round retries
 		}
 		if owner.Addr == n.Addr() {
-			return // same ring: disjoint views were a false alarm
+			return // same network: disjoint views were a false alarm
 		}
 		target = owner
 	}
 	n.lm.splitsDetected.Inc()
 	n.traceEvent("ring.split", fmt.Sprintf("via=%s owner=%s lone=%v", foreign.Addr, target.Addr, lone))
 
-	// Fold the foreign members into the local tables. MergeCandidate only
-	// ever tightens pointers toward self, so repeated and concurrent merges
-	// reach a fixpoint instead of oscillating. Members that tighten nothing
+	// Fold the foreign members into the kernel's tables and let the
+	// backend seed its convergence cascade. Members that tighten nothing
 	// still land in the member cache for future censuses.
-	n.mu.Lock()
-	n.cs.MergeCandidate(entryT{ID: chord.ID(target.ID), Addr: target.Addr, OK: true})
-	n.noteMembersLocked(target)
+	n.noteMembers(theirs...)
+	var others []dht.Member
 	for _, e := range theirs {
-		if e.Addr == "" || e.Addr == n.cs.Self.Addr {
+		if e.Addr == "" || e.Addr == n.self.Addr {
 			continue
 		}
-		n.cs.MergeCandidate(entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
+		others = append(others, dht.FromWire(e))
 	}
-	n.noteMembersLocked(theirs...)
-	succ := n.cs.Successor()
-	self := n.wireSelfLocked()
-	n.mu.Unlock()
-
-	// Seed the stabilize cascade immediately instead of waiting a tick:
-	// notify the (possibly new) successor, and notify the foreign owner —
-	// our ID lies in its claimed range, so its Notify rule adopts us as
-	// predecessor, which the next foreign-side stabilize round propagates
-	// backward around that ring.
-	if succ.OK && succ.Addr != self.Addr {
-		_, _ = n.call(succ.Addr, &wire.Notify{From: self})
-	}
-	if target.Addr != succ.Addr {
-		_, _ = n.call(target.Addr, &wire.Notify{From: self})
-	}
+	n.kern.Merge(target, others)
 	n.lm.ringMerges.Inc()
 	n.lm.mergeSeconds.Observe(time.Since(start).Seconds())
-	n.traceEvent("ring.merge", fmt.Sprintf("target=%s succ=%s lone=%v", target.Addr, succ.Addr, lone))
+	n.traceEvent("ring.merge", fmt.Sprintf("target=%s lone=%v", target.Addr, lone))
 
 	n.reconcile()
 }
 
 // reconcile is the post-merge index repair: push pending replication ops to
 // the (possibly new) replica set, run an anti-entropy round across the new
-// successor relationships, and re-register this node's held chunks with
+// replica relationships, and re-register this node's held chunks with
 // their (possibly changed) coordinators — all immediately, instead of
 // waiting out the periodic ticks, so ownership ranges and replica sets
 // repair within the merge instead of the next republish window.
@@ -330,9 +310,9 @@ func (n *Node) reconcile() {
 }
 
 // ForeignMembers reports how many cached members are outside the current
-// ring view (tests, the dco_live_foreign_members gauge). After a merge
-// completes and views converge, this returns toward zero for a healthy
-// cache — every cached member is a ring member again.
+// membership view (tests, the dco_live_foreign_members gauge). After a
+// merge completes and views converge, this returns toward zero for a
+// healthy cache — every cached member is in view again.
 func (n *Node) ForeignMembers() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()

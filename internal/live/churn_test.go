@@ -23,8 +23,7 @@ func TestRingHealsAfterAbruptFailure(t *testing.T) {
 	}
 	all := append([]*Node{src}, nodes...)
 	for _, nd := range all {
-		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
-		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+		nd.startRingMaint()
 	}
 	defer func() {
 		for _, nd := range all {
@@ -50,7 +49,7 @@ func TestRingHealsAfterAbruptFailure(t *testing.T) {
 	})
 
 	// The ring still serves index operations for any key.
-	owner, _, _, _, err := src.FindOwner(0xDEADBEEF)
+	owner, _, err := src.FindOwner(0xDEADBEEF)
 	if err != nil {
 		t.Fatalf("routing after failure: %v", err)
 	}
@@ -59,9 +58,19 @@ func TestRingHealsAfterAbruptFailure(t *testing.T) {
 	}
 }
 
-// ringSize walks successor pointers from start and counts distinct live
-// members before the walk returns home (or derails).
+// ringSize measures how much of the membership a walk can see. Chord:
+// walk successor pointers from start and count distinct live members
+// before the walk returns home (or derails). Kademlia (no successor
+// chain): the size of start's membership view when it matches the node
+// set exactly, else 0 — the same all-or-nothing signal the ring walk
+// gives.
 func ringSize(start *Node, nodes []*Node) int {
+	if start.DHTName() != "chord" {
+		if viewsConverged(nodes) {
+			return len(nodes)
+		}
+		return 0
+	}
 	byAddr := map[string]*Node{}
 	for _, nd := range nodes {
 		byAddr[nd.Addr()] = nd
@@ -197,7 +206,7 @@ func TestNotOwnerRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, nd := range []*Node{a, b} {
-		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
+		nd.startRingMaint()
 	}
 	defer a.Close()
 	defer b.Close()

@@ -118,8 +118,7 @@ func TestLookupRecoversAfterCoordinatorDeath(t *testing.T) {
 	}
 	all := append([]*Node{src}, nodes...)
 	for _, nd := range all {
-		nd.loop(nd.cfg.StabilizeEvery, nd.stabilize)
-		nd.loop(nd.cfg.FixFingersEvery, nd.fixFinger)
+		nd.startRingMaint()
 	}
 	defer func() {
 		for _, nd := range all {
@@ -134,7 +133,7 @@ func TestLookupRecoversAfterCoordinatorDeath(t *testing.T) {
 	// want alive to issue lookups from.
 	const seq = 7
 	key := uint64(cfg.Channel.Ref(seq).ID())
-	owner, _, _, _, err := src.FindOwner(key)
+	owner, _, err := src.FindOwner(key)
 	if err != nil {
 		t.Fatal(err)
 	}

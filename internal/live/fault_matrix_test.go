@@ -174,15 +174,47 @@ func TestFaultMatrixCorruptionDetected(t *testing.T) {
 	}
 }
 
-// ringCorrect checks every node's successor pointer against the sorted
-// ring order of the given membership.
+// ringCorrect is the backend-aware convergence oracle for the given
+// membership. Chord: every node's successor pointer matches the sorted
+// ring order. Kademlia (no ring structure): every node's membership view
+// is exactly the given set — all live members learned, all dead or
+// far-side contacts purged.
 func ringCorrect(nodes []*Node) bool {
+	if len(nodes) == 0 {
+		return true
+	}
+	if nodes[0].DHTName() != "chord" {
+		return viewsConverged(nodes)
+	}
 	sorted := append([]*Node(nil), nodes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
 	for i, nd := range sorted {
 		next := sorted[(i+1)%len(sorted)]
 		if _, succ := nd.Successor(); succ != next.Addr() {
 			return false
+		}
+	}
+	return true
+}
+
+// viewsConverged reports whether every node's kernel membership view is
+// exactly the address set of nodes.
+func viewsConverged(nodes []*Node) bool {
+	want := map[string]bool{}
+	for _, nd := range nodes {
+		want[nd.Addr()] = true
+	}
+	for _, nd := range nodes {
+		nd.mu.Lock()
+		view := nd.kern.View()
+		nd.mu.Unlock()
+		if len(view) != len(want) {
+			return false
+		}
+		for _, m := range view {
+			if !want[m.Addr] {
+				return false
+			}
 		}
 	}
 	return true

@@ -1,0 +1,101 @@
+package live
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dco/internal/telemetry"
+	"dco/internal/transport"
+)
+
+// TestKademliaSwarmScrapeMidStream is the Kademlia twin of
+// TestSwarmScrapeMidStream: a live swarm streams end-to-end with the
+// Kademlia backend pinned (regardless of DCO_DHT), and a mid-stream
+// scrape of a viewer's registry shows the backend-specific telemetry —
+// the lookup-hop histogram, the alpha-parallelism in-flight gauge, and
+// the k-bucket occupancy gauges — alongside the backend-neutral live
+// metrics. This is the golden-output check for the PR 7 telemetry
+// satellite: if a metric is renamed or silently stops moving, this
+// fails, not a dashboard.
+func TestKademliaSwarmScrapeMidStream(t *testing.T) {
+	f := transport.NewFabric()
+
+	mkCfg := func(source bool) Config {
+		cfg := fastConfig(source)
+		cfg.DHT = "kademlia"
+		cfg.Channel.Count = 40
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Trace = telemetry.NewTrace(1024)
+		return cfg
+	}
+
+	scfg := mkCfg(true)
+	src, err := NewNode(scfg, meteredAttach(f, scfg.Telemetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := src.DHTName(); got != "kademlia" {
+		t.Fatalf("DHTName() = %q, want kademlia", got)
+	}
+
+	vcfg := mkCfg(false)
+	viewer, err := NewNode(vcfg, meteredAttach(f, vcfg.Telemetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+	if err := viewer.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	viewer.Start()
+
+	srv := httptest.NewServer(telemetry.Handler(vcfg.Telemetry, vcfg.Trace))
+	defer srv.Close()
+
+	waitFor(t, 30*time.Second, "kademlia viewer to buffer a few chunks", func() bool {
+		return viewer.ChunkCount() >= 5
+	})
+
+	m := scrape(t, srv.URL+"/metrics")
+
+	// Backend-neutral lookup telemetry: the hop histogram must exist and
+	// must have recorded the viewer's provider lookups.
+	if n := m["dco_dht_lookup_hops_count"]; n <= 0 {
+		t.Fatalf("dco_dht_lookup_hops_count = %g, want > 0", n)
+	}
+	if _, ok := m[`dco_dht_lookup_hops_bucket{le="+Inf"}`]; !ok {
+		t.Fatal("scrape missing dco_dht_lookup_hops buckets")
+	}
+	if n := m["dco_dht_lookups_total"]; n <= 0 {
+		t.Fatalf("dco_dht_lookups_total = %g, want > 0", n)
+	}
+
+	// Kademlia-specific gauges: the in-flight gauge must be present (it
+	// is 0 between lookups — presence is the contract), and the routing
+	// table must show live contacts.
+	if _, ok := m["dco_kad_inflight"]; !ok {
+		t.Fatal("scrape missing dco_kad_inflight gauge")
+	}
+	if n := m["dco_kad_bucket_contacts"]; n <= 0 {
+		t.Fatalf("dco_kad_bucket_contacts = %g, want > 0 (the viewer knows the source)", n)
+	}
+	if n := m["dco_kad_table_inserts_total"]; n <= 0 {
+		t.Fatalf("dco_kad_table_inserts_total = %g, want > 0", n)
+	}
+
+	// The live plane's own metrics keep working under the swapped kernel.
+	if n := m["dco_live_chunks_fetched_total"]; n < 5 {
+		t.Fatalf("dco_live_chunks_fetched_total = %g, want >= 5", n)
+	}
+	if r := m["dco_transport_overhead_ratio"]; r <= 0 {
+		t.Fatalf("overhead ratio = %g, want > 0", r)
+	}
+
+	// The trace recorded the kernel's routing decisions.
+	if vcfg.Trace.Count("lookup.route") == 0 {
+		t.Fatal("trace has no lookup.route events from the kademlia kernel")
+	}
+}

@@ -11,7 +11,9 @@ import (
 // Metric-name conventions (see DESIGN.md, "Observability"): everything the
 // live node records is prefixed dco_live_*, transport-level metrics are
 // dco_transport_* (internal/transport), retry/breaker metrics dco_retry_* /
-// dco_breaker_*, and ring-maintenance metrics dco_ring_*. Counters end in
+// dco_breaker_*, DHT-kernel metrics dco_dht_* (backend-neutral, both
+// kernels), dco_ring_* (Chord maintenance, internal/chordkern) and
+// dco_kad_* (Kademlia table state, internal/kademlia). Counters end in
 // _total; histograms carry base units (_seconds); gauges are bare nouns.
 
 // liveMetrics is the node's metric set on one telemetry registry. A node
@@ -47,8 +49,6 @@ type liveMetrics struct {
 	breakerCloses        *telemetry.Counter
 
 	republishes    *telemetry.Counter
-	stabilizeRuns  *telemetry.Counter
-	fingerFixes    *telemetry.Counter
 	handoffEntries *telemetry.Counter
 
 	// Replication layer (replication.go): batch/op volume out, ops folded
@@ -129,8 +129,6 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		breakerCloses:        reg.Counter("dco_breaker_closes_total"),
 
 		republishes:    reg.Counter("dco_live_republishes_total"),
-		stabilizeRuns:  reg.Counter("dco_live_stabilize_runs_total"),
-		fingerFixes:    reg.Counter("dco_live_finger_fixes_total"),
 		handoffEntries: reg.Counter("dco_live_handoff_entries_total"),
 
 		replicateOps:      reg.Counter("dco_live_replicate_ops_total"),
@@ -224,18 +222,6 @@ func (n *Node) registerGauges() {
 	})
 	reg.GaugeFunc("dco_live_foreign_members", func() float64 {
 		return float64(n.ForeignMembers())
-	})
-	reg.GaugeFunc("dco_ring_successor_changes", func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		c, _ := n.cs.MaintenanceStats()
-		return float64(c)
-	})
-	reg.GaugeFunc("dco_ring_failures_removed", func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		_, r := n.cs.MaintenanceStats()
-		return float64(r)
 	})
 }
 

@@ -1,9 +1,12 @@
-// Package live is the runnable, real-network DCO node. It reuses the same
-// Chord state machine as the simulator (internal/chord) and implements the
-// paper's chunk-sharing algorithm over internal/transport: viewers look up
-// chunk IDs in the ring, fetch chunk data from the returned providers, and
-// register themselves as providers; coordinators keep the index tables and
-// hold unanswerable lookups until a provider registers.
+// Package live is the runnable, real-network DCO node. It implements the
+// paper's chunk-sharing algorithm over internal/transport on top of a
+// pluggable DHT kernel (internal/dht): viewers look up chunk IDs through
+// the kernel, fetch chunk data from the returned providers, and register
+// themselves as providers; coordinators keep the index tables and hold
+// unanswerable lookups until a provider registers. The kernel backend —
+// the Chord ring the paper assumes (internal/chordkern) or Kademlia
+// k-buckets (internal/kademlia) — is selected by Config.DHT; nothing in
+// this package names a backend type outside the factory in backend.go.
 package live
 
 import (
@@ -16,7 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dco/internal/chord"
+	"dco/internal/dht"
 	"dco/internal/retry"
 	"dco/internal/stream"
 	"dco/internal/telemetry"
@@ -36,12 +39,27 @@ type Config struct {
 	// StartSeq is the first chunk a viewer fetches.
 	StartSeq int64
 
+	// DHT selects the key-routing backend: "chord" (the paper's ring,
+	// the default) or "kademlia" (XOR-metric k-buckets). Empty reads the
+	// DCO_DHT environment variable, then falls back to "chord".
+	DHT string
+
 	// SuccListSize is the Chord successor-list length.
 	SuccListSize int
 
-	// Maintenance cadence.
+	// Maintenance cadence. Chord runs stabilize/fix-fingers at these
+	// periods; Kademlia derives its probe cadence from StabilizeEvery.
 	StabilizeEvery  time.Duration
 	FixFingersEvery time.Duration
+
+	// KadK and KadAlpha tune the Kademlia backend: bucket capacity /
+	// closest-set size and lookup parallelism. 0 derives 16 and 3.
+	KadK     int
+	KadAlpha int
+
+	// KadRefreshEvery is the Kademlia bucket-refresh cadence (one bucket
+	// per tick). 0 derives 4 x StabilizeEvery.
+	KadRefreshEvery time.Duration
 
 	// Fetching.
 	LookupWait         time.Duration // server-side pending-queue wait per lookup
@@ -187,6 +205,7 @@ type Config struct {
 func DefaultNodeConfig() Config {
 	return Config{
 		Channel:            stream.Params{Channel: "LIVE", ChunkBits: 64 * 8 * 1024, Period: 250 * time.Millisecond, Count: 0},
+		DHT:                defaultDHT(),
 		SuccListSize:       8,
 		StabilizeEvery:     300 * time.Millisecond,
 		FixFingersEvery:    100 * time.Millisecond,
@@ -214,15 +233,14 @@ func DefaultNodeConfig() Config {
 	}
 }
 
-type entryT = chord.Entry[string]
-
 // Node is a live DCO participant.
 type Node struct {
-	cfg Config
-	tr  transport.Transport
+	cfg  Config
+	tr   transport.Transport
+	self dht.Member // immutable after NewNode
 
 	mu         sync.Mutex
-	cs         *chord.State[string]
+	kern       dht.Kernel // nil only during NewNode (serve nacks until set)
 	chunks     map[int64][]byte
 	registered map[int64]bool
 	index      map[int64]*indexEntry
@@ -257,10 +275,10 @@ type Node struct {
 	replicas    map[string]*replicaSet
 
 	// Ring census state (census.go): the bounded memory of previously-seen
-	// members (guarded by n.mu, like cs) and the probe-rotation cursor.
-	// merging serializes split-brain merge attempts — detection can fire
-	// concurrently from the census loop and inbound probes.
-	members      *chord.MemberCache[string]
+	// members (guarded by n.mu, like the index) and the probe-rotation
+	// cursor. merging serializes split-brain merge attempts — detection can
+	// fire concurrently from the census loop and inbound probes.
+	members      *dht.MemberCache
 	censusCursor uint64
 	merging      atomic.Bool
 
@@ -450,17 +468,27 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		return nil, err
 	}
 	n.tr = tr
-	self := entryT{ID: chord.HashString("live-node-" + tr.Addr()), Addr: tr.Addr(), OK: true}
-	n.cs = chord.NewState(self, cfg.SuccListSize)
-	n.members = chord.NewMemberCache(self.Addr, cfg.MemberCacheSize)
+	n.self = dht.Member{ID: dht.IDOf(tr.Addr()), Addr: tr.Addr()}
+	n.members = dht.NewMemberCache(n.self.Addr, cfg.MemberCacheSize)
 	seed := cfg.RetrySeed
 	if seed == 0 {
 		// Stable per-address seed: same deployment, same jitter schedule.
-		seed = int64(uint64(self.ID))
+		seed = int64(n.self.ID)
 	}
 	n.retrier = retry.New(cfg.Retry, retry.NewBreaker(cfg.Breaker), seed)
 	n.jitter = rand.New(rand.NewSource(seed ^ 0x6a69747465726a69)) // distinct stream from the retrier's
 	n.lm = newLiveMetrics(cfg.Telemetry, cfg.Trace)
+	kern, err := n.newKernel()
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	// The transport is already serving: publish the kernel under the lock
+	// serve reads it through (requests racing construction get a retryable
+	// "starting" nack instead of a nil dispatch).
+	n.mu.Lock()
+	n.kern = kern
+	n.mu.Unlock()
 	n.registerGauges()
 	n.hookResilience()
 	return n, nil
@@ -469,12 +497,11 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 // Addr returns the node's dialable address.
 func (n *Node) Addr() string { return n.tr.Addr() }
 
-// ID returns the node's ring position.
-func (n *Node) ID() chord.ID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cs.Self.ID
-}
+// ID returns the node's position in the shared 64-bit key space.
+func (n *Node) ID() uint64 { return n.self.ID }
+
+// DHTName identifies the routing backend this node runs on.
+func (n *Node) DHTName() string { return n.kern.Name() }
 
 // Stats returns a snapshot of the node's counters, assembled lock-free
 // from the telemetry registry (and the retrier's own accounting).
@@ -525,19 +552,32 @@ func (n *Node) ChunkCount() int {
 	return len(n.chunks)
 }
 
-// Successor exposes the current successor (tests, debugging).
-func (n *Node) Successor() (id chord.ID, addr string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s := n.cs.Successor()
-	return s.ID, s.Addr
+// Successor exposes the next member along the key space (tests,
+// debugging): Chord's ring successor, or the backend's heir when the
+// kernel has no explicit successor pointer.
+func (n *Node) Successor() (id uint64, addr string) {
+	if s, ok := n.kern.(interface{ Successor() dht.Member }); ok {
+		m := s.Successor()
+		return m.ID, m.Addr
+	}
+	if h, ok := n.kern.Heir(); ok {
+		return h.ID, h.Addr
+	}
+	return n.self.ID, n.self.Addr
+}
+
+// startRingMaint schedules the kernel's periodic maintenance (Chord:
+// stabilize + fix-fingers; Kademlia: bucket refresh + liveness probe).
+func (n *Node) startRingMaint() {
+	for _, t := range n.kern.Ticks() {
+		n.loop(t.Every, t.Fn)
+	}
 }
 
 // Start launches the maintenance loops and, for sources, the generator;
 // viewers also start their fetch pipeline.
 func (n *Node) Start() {
-	n.loop(n.cfg.StabilizeEvery, n.stabilize)
-	n.loop(n.cfg.FixFingersEvery, n.fixFinger)
+	n.startRingMaint()
 	n.loop(n.cfg.RepublishEvery, n.republish)
 	if n.cfg.Replicas > 0 {
 		n.loop(n.cfg.ReplicateEvery, n.replicateFlush)
@@ -623,49 +663,21 @@ func (n *Node) JoinAny(bootstraps []string) error {
 	return errors.Join(errs...)
 }
 
-// joinVia performs one join attempt through bootstrap.
+// joinVia performs one join attempt through bootstrap. The kernel runs
+// the backend's attach protocol and reports everyone it met through the
+// Seen event, which feeds the census member cache.
 func (n *Node) joinVia(bootstrap string) error {
-	n.mu.Lock()
-	selfID := n.cs.Self.ID
-	n.mu.Unlock()
-	owner, succs, pred, predOK, err := n.findOwnerFrom(bootstrap, uint64(selfID))
-	if err != nil {
-		return err
-	}
-	n.mu.Lock()
-	n.cs.SetSuccessor(entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
-	var list []entryT
-	for _, e := range succs {
-		list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
-	}
-	if len(list) > 0 {
-		n.cs.AdoptSuccessorList(entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true}, list)
-	}
-	if predOK {
-		n.cs.SetPredecessor(entryT{ID: chord.ID(pred.ID), Addr: pred.Addr, OK: true})
-	}
-	n.noteMembersLocked(owner)
-	n.noteMembersLocked(succs...)
-	if predOK {
-		n.noteMembersLocked(pred)
-	}
-	n.mu.Unlock()
-	// The first notify is best-effort: stabilization re-notifies every
-	// cycle, so a dropped message here must not fail an otherwise
-	// successful join.
-	if owner.Addr != n.Addr() {
-		_, _ = n.callIdem(owner.Addr, &wire.Notify{From: n.wireSelf()})
-	}
-	return nil
+	return n.kern.Join(bootstrap)
 }
 
-// Leave departs gracefully: index handoff to the successor (replicated
-// past it, so the handoff survives the successor dying too), ring unlink,
-// then shutdown.
+// Leave departs gracefully: index handoff to the heir — the member that
+// inherits this node's key range — replicated past it (so the handoff
+// survives the heir dying too), then the backend's own departure protocol
+// (Chord: ring unlink; Kademlia: goodbye to the neighborhood), then
+// shutdown.
 func (n *Node) Leave() error {
+	heir, heirOK := n.kern.Heir()
 	n.mu.Lock()
-	succ := n.cs.Successor()
-	pred := n.cs.Predecessor()
 	now := time.Now()
 	var entries []wire.HandoffEntry
 	var ops []wire.ReplicaOp
@@ -682,30 +694,27 @@ func (n *Node) Leave() error {
 		entries = append(entries, he)
 		delete(n.index, seq)
 	}
-	self := n.wireSelfLocked()
-	var succList []wire.Entry
-	for _, e := range n.cs.SuccessorList() {
-		succList = append(succList, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
+	var spares []dht.Member
+	if heirOK {
+		// Members past the heir, for replicating the handed-off range: ask
+		// for one extra so skipping the heir itself still leaves Replicas.
+		spares = n.kern.ReplicaSet(heir.ID, n.cfg.Replicas+1)
 	}
 	n.mu.Unlock()
 
-	if succ.OK && succ.Addr != n.Addr() {
+	if heirOK && heir.Addr != n.Addr() {
 		if len(entries) > 0 {
-			_, _ = n.callIdem(succ.Addr, &wire.Handoff{Entries: entries})
+			_, _ = n.callIdem(heir.Addr, &wire.Handoff{Entries: entries})
 		}
 		// Replicate the handed-off range past the new owner on its behalf:
-		// if the sole handoff successor dies before republication kicks in,
+		// if the sole handoff target dies before republication kicks in,
 		// its replicas still hold the entries and promote them (the PR 3
 		// regression test pins exactly this failure).
 		if n.cfg.Replicas > 0 && len(ops) > 0 {
-			batch := &wire.ReplicateBatch{
-				Owner: wire.Entry{ID: uint64(succ.ID), Addr: succ.Addr},
-				Full:  true,
-				Ops:   ops,
-			}
+			batch := &wire.ReplicateBatch{Owner: heir.Wire(), Full: true, Ops: ops}
 			sent := 0
-			for _, s := range succList {
-				if s.Addr == n.Addr() || s.Addr == succ.Addr {
+			for _, s := range spares {
+				if s.Addr == n.Addr() || s.Addr == heir.Addr {
 					continue
 				}
 				if _, err := n.callIdem(s.Addr, batch); err == nil {
@@ -716,28 +725,16 @@ func (n *Node) Leave() error {
 				}
 			}
 		}
-		leave := &wire.Leave{From: self}
-		if pred.OK {
-			leave.NewPred = wire.Entry{ID: uint64(pred.ID), Addr: pred.Addr}
-			leave.PredOK = true
-		}
-		_, _ = n.call(succ.Addr, leave)
-		if pred.OK && pred.Addr != n.Addr() {
-			_, _ = n.call(pred.Addr, &wire.Leave{From: self, NewSucc: succList})
-		}
+		n.kern.Leave()
 	}
 	return n.Close()
 }
 
-func (n *Node) wireSelf() wire.Entry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.wireSelfLocked()
-}
+func (n *Node) wireSelf() wire.Entry { return n.self.Wire() }
 
-func (n *Node) wireSelfLocked() wire.Entry {
-	return wire.Entry{ID: uint64(n.cs.Self.ID), Addr: n.cs.Self.Addr}
-}
+// wireSelfLocked is wireSelf; self is immutable, so no lock is actually
+// needed — the name survives for the call sites written under n.mu.
+func (n *Node) wireSelfLocked() wire.Entry { return n.self.Wire() }
 
 // rpcClassify maps the wire error taxonomy onto the retry layer: remote
 // wire.Errors retry only when their code says so, and never count toward
@@ -808,23 +805,19 @@ func (n *Node) peerCondemned(addr string, err error) bool {
 	return !br.Enabled() || br.Open(addr) || errors.Is(err, retry.ErrOpen)
 }
 
-// noteCallFailure purges addr from the routing tables once the failure
-// evidence is conclusive; stabilization re-adds the peer if it was only
-// a hiccup after all. A condemned predecessor triggers index takeover:
-// this node is its first live successor and inherits its key range, so
-// the replicated entries are promoted to owned state on the spot.
+// noteCallFailure purges addr from the kernel's routing tables once the
+// failure evidence is conclusive; maintenance re-adds the peer if it was
+// only a hiccup after all. A condemned peer whose key range fell to this
+// node triggers index takeover: its replicated entries are promoted to
+// owned state on the spot (promoteReplicasLocked checks Owns per key, so
+// a dead peer whose range went elsewhere promotes nothing).
 func (n *Node) noteCallFailure(addr string, err error) {
 	if !n.peerCondemned(addr, err) {
 		return
 	}
 	n.mu.Lock()
-	pred := n.cs.Predecessor()
-	wasPred := pred.OK && pred.Addr == addr
-	n.cs.RemoveFailed(addr)
-	promoted := 0
-	if wasPred {
-		promoted = n.promoteReplicasLocked(addr)
-	}
+	n.kern.PeerFailed(addr)
+	promoted := n.promoteReplicasLocked(addr)
 	n.mu.Unlock()
 	n.traceEvent("ring.purge", "peer="+addr)
 	if promoted > 0 {

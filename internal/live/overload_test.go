@@ -142,8 +142,8 @@ func TestGetChunkMissCounted(t *testing.T) {
 // saturated load report, and the shed counted.
 func TestGetChunkShedsWithRetryHint(t *testing.T) {
 	cfg := fastConfig(false)
-	cfg.UpBps = 8_000              // 1000 B/s
-	cfg.AdmitBurst = 1024          // exactly one chunk of burst
+	cfg.UpBps = 8_000     // 1000 B/s
+	cfg.AdmitBurst = 1024 // exactly one chunk of burst
 	cfg.AdmitMaxWait = 50 * time.Millisecond
 	n := soloNode(t, cfg)
 	data := MakeChunkPayload(n.cfg.Channel, 1) // 1024 bytes

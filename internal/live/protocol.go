@@ -4,23 +4,31 @@ import (
 	"fmt"
 	"time"
 
-	"dco/internal/chord"
+	"dco/internal/dht"
 	"dco/internal/wire"
 )
 
-// serve dispatches one inbound RPC. It runs on transport goroutines, so
-// everything it touches is guarded by n.mu; blocking waits (the lookup
-// pending queue) happen outside the lock.
+// serve dispatches one inbound RPC: kernel protocol messages (routing,
+// ring/bucket maintenance, graceful leaves) go to the DHT backend first,
+// everything else is the live data plane. It runs on transport
+// goroutines, so everything it touches is guarded by n.mu; blocking waits
+// (the lookup pending queue) happen outside the lock.
 func (n *Node) serve(from string, req wire.Message) wire.Message {
-	switch m := req.(type) {
-	case *wire.Ping:
+	if _, ok := req.(*wire.Ping); ok {
 		return &wire.Pong{}
-	case *wire.FindSuccessor:
-		return n.onFindSuccessor(m)
-	case *wire.GetState:
-		return n.onGetState()
-	case *wire.Notify:
-		return n.onNotify(m)
+	}
+	n.mu.Lock()
+	kern := n.kern
+	n.mu.Unlock()
+	if kern == nil {
+		// NewNode has not finished wiring the kernel; a retryable nack is
+		// better than racing construction.
+		return &wire.Error{Code: wire.CodeShutdown, Msg: "starting"}
+	}
+	if resp, ok := kern.HandleRPC(from, req); ok {
+		return resp
+	}
+	switch m := req.(type) {
 	case *wire.Lookup:
 		return n.onLookup(m)
 	case *wire.Insert:
@@ -29,8 +37,6 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 		return n.onGetChunk(m)
 	case *wire.Handoff:
 		return n.onHandoff(m)
-	case *wire.Leave:
-		return n.onLeave(m)
 	case *wire.ReplicateBatch:
 		return n.onReplicateBatch(m)
 	case *wire.DigestReq:
@@ -42,78 +48,13 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 	}
 }
 
-func (n *Node) onFindSuccessor(m *wire.FindSuccessor) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	hop, done := n.cs.NextHop(chord.ID(m.Key))
-	resp := &wire.FindSuccessorResp{
-		Done:  done && hop.Addr == n.cs.Self.Addr,
-		Owner: wire.Entry{ID: uint64(hop.ID), Addr: hop.Addr},
-	}
-	if resp.Done {
-		for _, e := range n.cs.SuccessorList() {
-			resp.Succs = append(resp.Succs, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
-		}
-		if p := n.cs.Predecessor(); p.OK {
-			resp.Pred = wire.Entry{ID: uint64(p.ID), Addr: p.Addr}
-			resp.OK = true
-		}
-	} else if done {
-		// The successor owns the key: the caller should finish there.
-		resp.Done = false
-	}
-	return resp
-}
-
-func (n *Node) onGetState() wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	resp := &wire.GetStateResp{}
-	if p := n.cs.Predecessor(); p.OK {
-		resp.Pred = wire.Entry{ID: uint64(p.ID), Addr: p.Addr}
-		resp.PredOK = true
-	}
-	for _, e := range n.cs.SuccessorList() {
-		resp.Succs = append(resp.Succs, wire.Entry{ID: uint64(e.ID), Addr: e.Addr})
-	}
-	return resp
-}
-
-func (n *Node) onNotify(m *wire.Notify) wire.Message {
-	cand := entryT{ID: chord.ID(m.From.ID), Addr: m.From.Addr, OK: true}
-	n.mu.Lock()
-	n.noteMembersLocked(m.From)
-	adopted := n.cs.Notify(cand)
-	var moved []wire.HandoffEntry
-	if adopted {
-		for seq, e := range n.index {
-			key := n.cfg.Channel.Ref(seq).ID()
-			if !n.cs.OwnsKey(key) {
-				he := wire.HandoffEntry{Key: uint64(key), Seq: seq}
-				for _, p := range e.providers {
-					he.Providers = append(he.Providers, p.ent)
-				}
-				moved = append(moved, he)
-				delete(n.index, seq)
-			}
-		}
-	}
-	n.mu.Unlock()
-	if len(moved) > 0 {
-		// Transfer asynchronously (retried: handoff merges are idempotent);
-		// a lost handoff only delays re-registration.
-		go func() { _, _ = n.callIdem(cand.Addr, &wire.Handoff{Entries: moved}) }()
-	}
-	return &wire.Ack{}
-}
-
 // onLookup serves the coordinator role: answer with providers, waiting up
 // to MaxWait for the first registration (the paper's pending queue).
 func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 	deadline := time.Now().Add(time.Duration(m.MaxWait) * time.Millisecond)
 	for {
 		n.mu.Lock()
-		if !n.cs.OwnsKey(chord.ID(m.Key)) {
+		if !n.kern.Owns(m.Key) {
 			n.mu.Unlock()
 			return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 		}
@@ -163,7 +104,7 @@ func (n *Node) indexEntryLocked(seq int64) *indexEntry {
 func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.cs.OwnsKey(chord.ID(m.Key)) {
+	if !n.kern.Owns(m.Key) {
 		return &wire.Error{Code: wire.CodeNotOwner, Msg: errNotOwner.Error()}
 	}
 	n.lm.insertsServed.Inc()
@@ -283,206 +224,12 @@ func (n *Node) onHandoff(m *wire.Handoff) wire.Message {
 	return &wire.Ack{}
 }
 
-func (n *Node) onLeave(m *wire.Leave) wire.Message {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	// A graceful leaver handed its index to its successor; whatever slice
-	// of it was replicated here is now stale (the new owner replicates its
-	// own copy), so drop it rather than promote it later. The member cache
-	// forgets it too — graceful departure is the one conclusive "gone for
-	// good" signal (abrupt unreachability is not: that may be a partition).
-	delete(n.replicas, m.From.Addr)
-	n.members.Forget(m.From.Addr)
-	if m.NewSucc != nil {
-		n.cs.RemoveFailed(m.From.Addr)
-		var list []entryT
-		for _, e := range m.NewSucc {
-			if e.Addr != m.From.Addr && e.Addr != n.cs.Self.Addr {
-				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
-			}
-		}
-		if len(list) > 0 {
-			n.cs.AdoptSuccessorList(list[0], list[1:])
-		}
-	} else {
-		if p := n.cs.Predecessor(); p.OK && p.Addr == m.From.Addr {
-			if m.PredOK {
-				n.cs.SetPredecessor(entryT{ID: chord.ID(m.NewPred.ID), Addr: m.NewPred.Addr, OK: true})
-			} else {
-				n.cs.ClearPredecessor()
-			}
-		}
-	}
-	return &wire.Ack{}
+// FindOwner routes from this node to key's owner via the configured DHT
+// backend, returning the owner plus the fallback members to try when the
+// owner is unreachable.
+func (n *Node) FindOwner(key uint64) (owner dht.Member, fallbacks []dht.Member, err error) {
+	return n.kern.FindOwner(key)
 }
-
-// ---------------------------------------------------------------------------
-// Maintenance loops.
-
-func (n *Node) stabilize() {
-	n.lm.stabilizeRuns.Inc()
-	n.traceEvent("ring.stabilize", "")
-	n.checkPredecessor()
-	n.mu.Lock()
-	succ := n.cs.Successor()
-	self := n.cs.Self
-	if succ.Addr == self.Addr {
-		// Ring of one: when the first peer notifies us it becomes our
-		// predecessor; adopting it as successor closes the two-node ring
-		// (the standard Chord bootstrap step).
-		if p := n.cs.Predecessor(); p.OK && p.Addr != self.Addr {
-			n.cs.SetSuccessor(p)
-		}
-		n.mu.Unlock()
-		return
-	}
-	n.mu.Unlock()
-	if !succ.OK {
-		return
-	}
-	resp, err := n.call(succ.Addr, &wire.GetState{})
-	if err != nil {
-		// call already fed the breaker and purged the successor if the
-		// evidence was conclusive; a lone drop just waits for next tick.
-		return
-	}
-	st, ok := resp.(*wire.GetStateResp)
-	if !ok {
-		return
-	}
-	n.mu.Lock()
-	// Passive member-cache feed: every stabilize answer names live ring
-	// members worth remembering for the census.
-	if st.PredOK {
-		n.noteMembersLocked(st.Pred)
-	}
-	n.noteMembersLocked(st.Succs...)
-	cur := n.cs.Successor()
-	if cur.Addr == succ.Addr {
-		if st.PredOK && st.Pred.Addr != self.Addr && chord.InOO(self.ID, chord.ID(st.Pred.ID), succ.ID) {
-			n.cs.SetSuccessor(entryT{ID: chord.ID(st.Pred.ID), Addr: st.Pred.Addr, OK: true})
-		} else {
-			var list []entryT
-			for _, e := range st.Succs {
-				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
-			}
-			n.cs.AdoptSuccessorList(succ, list)
-		}
-	}
-	target := n.cs.Successor()
-	n.mu.Unlock()
-	if target.OK && target.Addr != self.Addr {
-		_, _ = n.call(target.Addr, &wire.Notify{From: wire.Entry{ID: uint64(self.ID), Addr: self.Addr}})
-	}
-}
-
-// checkPredecessor is Chord's check_predecessor: ping the predecessor and
-// clear it on failure. Without it, a dead predecessor is forever
-// re-advertised to the node behind it and the ring never heals.
-func (n *Node) checkPredecessor() {
-	n.mu.Lock()
-	pred := n.cs.Predecessor()
-	self := n.cs.Self.Addr
-	n.mu.Unlock()
-	if !pred.OK || pred.Addr == self {
-		return
-	}
-	if _, err := n.call(pred.Addr, &wire.Ping{}); err != nil && n.peerCondemned(pred.Addr, err) {
-		n.mu.Lock()
-		cleared := false
-		promoted := 0
-		if cur := n.cs.Predecessor(); cur.OK && cur.Addr == pred.Addr {
-			n.cs.ClearPredecessor()
-			cleared = true
-			// The dead predecessor's key range falls to this node: promote
-			// its replicated index entries before lookups arrive. (call's
-			// own failure handling usually got here first; this covers the
-			// paths where it did not.)
-			promoted = n.promoteReplicasLocked(pred.Addr)
-		}
-		n.mu.Unlock()
-		if cleared {
-			n.traceEvent("ring.pred_cleared", "peer="+pred.Addr)
-		}
-		if promoted > 0 {
-			n.traceEvent("replica.takeover", fmt.Sprintf("owner=%s entries=%d", pred.Addr, promoted))
-		}
-	}
-}
-
-func (n *Node) fixFinger() {
-	n.mu.Lock()
-	i, start := n.cs.NextFingerToFix()
-	n.mu.Unlock()
-	owner, _, _, _, err := n.FindOwner(uint64(start))
-	if err != nil {
-		return
-	}
-	n.lm.fingerFixes.Inc()
-	n.mu.Lock()
-	n.cs.SetFinger(i, entryT{ID: chord.ID(owner.ID), Addr: owner.Addr, OK: true})
-	n.mu.Unlock()
-}
-
-// FindOwner routes iteratively from this node to the owner of key. A dead
-// hop is purged from the local tables (via call's failure handling) and the
-// route restarts, so routing self-heals in step with stabilization.
-func (n *Node) FindOwner(key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
-	for attempt := 0; attempt < 4; attempt++ {
-		n.mu.Lock()
-		hop, done := n.cs.NextHop(chord.ID(key))
-		self := n.cs.Self
-		n.mu.Unlock()
-		if done && hop.Addr == self.Addr {
-			// We own it ourselves.
-			st := n.onGetState().(*wire.GetStateResp)
-			return wire.Entry{ID: uint64(self.ID), Addr: self.Addr}, st.Succs, st.Pred, st.PredOK, nil
-		}
-		owner, succs, pred, predOK, err = n.findOwnerFrom(hop.Addr, key)
-		if err == nil {
-			return owner, succs, pred, predOK, nil
-		}
-		select {
-		case <-n.closed:
-			return wire.Entry{}, nil, wire.Entry{}, false, err
-		case <-time.After(100 * time.Millisecond):
-		}
-	}
-	return wire.Entry{}, nil, wire.Entry{}, false, err
-}
-
-// findOwnerFrom iterates FindSuccessor starting at a remote node. Each
-// hop is retried with backoff (routing reads are idempotent); a hop that
-// stays dead surfaces as an error and FindOwner re-routes around it.
-func (n *Node) findOwnerFrom(start string, key uint64) (owner wire.Entry, succs []wire.Entry, pred wire.Entry, predOK bool, err error) {
-	cur := start
-	for hops := 0; hops < 2*chord.M; hops++ {
-		resp, cerr := n.callIdem(cur, &wire.FindSuccessor{Key: key})
-		if cerr != nil {
-			return wire.Entry{}, nil, wire.Entry{}, false, cerr
-		}
-		fs, ok := resp.(*wire.FindSuccessorResp)
-		if !ok {
-			return wire.Entry{}, nil, wire.Entry{}, false, errUnexpected(resp)
-		}
-		if fs.Done {
-			n.traceEvent("lookup.route", fmt.Sprintf("key=%016x hops=%d owner=%s", key, hops+1, fs.Owner.Addr))
-			n.noteMembers(fs.Owner)
-			n.noteMembers(fs.Succs...)
-			return fs.Owner, fs.Succs, fs.Pred, fs.OK, nil
-		}
-		if fs.Owner.Addr == "" || fs.Owner.Addr == cur {
-			return wire.Entry{}, nil, wire.Entry{}, false, errRoutingStuck
-		}
-		cur = fs.Owner.Addr
-	}
-	return wire.Entry{}, nil, wire.Entry{}, false, errTooManyHops
-}
-
-var (
-	errRoutingStuck = errorString("live: routing made no progress")
-	errTooManyHops  = errorString("live: routing exceeded hop bound")
-)
 
 type errorString string
 

@@ -17,7 +17,6 @@ import (
 	"sort"
 	"time"
 
-	"dco/internal/chord"
 	"dco/internal/wire"
 )
 
@@ -82,32 +81,18 @@ func (n *Node) enqueueReplicaLocked(key uint64, seq int64, holder wire.Entry, up
 	})
 }
 
-// replTargetsLocked returns the first Replicas distinct live successors
-// (the replica set). Caller holds n.mu.
+// replTargetsLocked returns up to Replicas distinct live members that
+// should mirror this node's index (the replica set), from the kernel
+// (Chord: the first live successors; Kademlia: the closest contacts).
+// Caller holds n.mu.
 func (n *Node) replTargetsLocked() []wire.Entry {
 	r := n.cfg.Replicas
 	if r <= 0 {
 		return nil
 	}
 	var out []wire.Entry
-	for _, s := range n.cs.SuccessorList() {
-		if !s.OK || s.Addr == n.cs.Self.Addr {
-			continue
-		}
-		dup := false
-		for _, o := range out {
-			if o.Addr == s.Addr {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		out = append(out, wire.Entry{ID: uint64(s.ID), Addr: s.Addr})
-		if len(out) == r {
-			break
-		}
+	for _, m := range n.kern.ReplicaSet(n.self.ID, r) {
+		out = append(out, m.Wire())
 	}
 	return out
 }
@@ -157,19 +142,19 @@ func (n *Node) replicateFlush() {
 func (n *Node) onReplicateBatch(m *wire.ReplicateBatch) wire.Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if m.Owner.Addr == n.cs.Self.Addr {
+	if m.Owner.Addr == n.self.Addr {
 		return &wire.Ack{}
 	}
 	n.noteMembersLocked(m.Owner)
 	now := time.Now()
-	pred := n.cs.Predecessor()
 	var rs *replicaSet
 	var reset map[int64]bool
 	for i := range m.Ops {
 		op := &m.Ops[i]
-		// Ownership requires a known predecessor: a freshly joined node
-		// with no predecessor would otherwise claim every key it sees.
-		if pred.OK && n.cs.OwnsKey(chord.ID(op.Key)) {
+		// OwnsSettled, not Owns: ownership here requires positive routing
+		// evidence — a freshly joined node with empty tables would
+		// otherwise claim every key it sees.
+		if n.kern.OwnsSettled(op.Key) {
 			n.applyOwnedOpLocked(op, now)
 			continue
 		}
@@ -306,7 +291,7 @@ func (n *Node) promoteReplicasLocked(deadAddr string) int {
 	now := time.Now()
 	promoted := 0
 	for seq, re := range rs.entries {
-		if !n.cs.OwnsKey(chord.ID(re.key)) {
+		if !n.kern.Owns(re.key) {
 			continue
 		}
 		delete(rs.entries, seq)
@@ -371,7 +356,7 @@ func (n *Node) antiEntropy() {
 			continue
 		}
 		key := uint64(n.cfg.Channel.Ref(seq).ID())
-		if !n.cs.OwnsKey(chord.ID(key)) {
+		if !n.kern.Owns(key) {
 			continue
 		}
 		digests = append(digests, wire.SeqDigest{Key: key, Seq: seq, Hash: providerHash(e.providers)})
@@ -460,7 +445,7 @@ func (n *Node) buildRepairBatch(self wire.Entry, need []int64) *wire.ReplicateBa
 func (n *Node) onDigestReq(m *wire.DigestReq) wire.Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if m.Owner.Addr == n.cs.Self.Addr {
+	if m.Owner.Addr == n.self.Addr {
 		return &wire.DigestResp{}
 	}
 	n.noteMembersLocked(m.Owner)

@@ -87,7 +87,7 @@ func TestReplicatedSoakCoordinatorKill(t *testing.T) {
 	// source has to stay up to finish generating.
 	time.Sleep(600 * time.Millisecond)
 	midKey := uint64(src.cfg.Channel.Ref(int64(nChunks / 2)).ID())
-	owner, _, _, _, err := src.FindOwner(midKey)
+	owner, _, err := src.FindOwner(midKey)
 	if err != nil {
 		t.Fatalf("FindOwner for the victim key: %v", err)
 	}

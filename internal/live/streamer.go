@@ -108,7 +108,7 @@ func (n *Node) insertIndex(seq int64) {
 		LoadMilli: n.reportLoadMilli(),
 	}
 	for attempt := 0; attempt < 2; attempt++ {
-		owner, _, _, _, err := n.FindOwner(key)
+		owner, _, err := n.FindOwner(key)
 		if err == nil {
 			if owner.Addr == n.Addr() {
 				n.onInsert(msg)
@@ -390,12 +390,16 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 			case <-time.After(100 * time.Millisecond):
 			}
 		}
-		owner, succs, _, _, err := n.FindOwner(key)
+		owner, fallbacks, err := n.FindOwner(key)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		candidates := append([]wire.Entry{owner}, succs...)
+		candidates := make([]wire.Entry, 0, 1+len(fallbacks))
+		candidates = append(candidates, owner.Wire())
+		for _, f := range fallbacks {
+			candidates = append(candidates, f.Wire())
+		}
 		tried := make(map[string]bool, len(candidates))
 		reroute := false
 		for ci := 0; ci < len(candidates) && !reroute; ci++ {
@@ -490,7 +494,7 @@ func (n *Node) unregisterExpired(seqs []int64) {
 	for _, seq := range seqs {
 		seq := seq
 		key := uint64(n.cfg.Channel.Ref(seq).ID())
-		owner, _, _, _, err := n.FindOwner(key)
+		owner, _, err := n.FindOwner(key)
 		if err != nil {
 			continue // best effort; a stale entry only costs a nack later
 		}

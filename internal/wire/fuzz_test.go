@@ -31,6 +31,8 @@ func FuzzReadMessage(f *testing.F) {
 		&DigestResp{Need: []int64{5}},
 		&CensusProbe{From: e, Digest: 6, Members: []Entry{e}},
 		&CensusResp{From: e, Digest: 6, Members: []Entry{e}},
+		&KadFindNode{From: e, Key: 12, Refresh: true},
+		&KadFindNodeResp{From: e, Closest: []Entry{e}},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -40,6 +40,8 @@ const (
 	KindDigestResp
 	KindCensusProbe
 	KindCensusResp
+	KindKadFindNode
+	KindKadFindNodeResp
 )
 
 // MaxFrame bounds a frame (type byte + payload). Chunks dominate; 4 MiB
@@ -295,6 +297,27 @@ type CensusResp struct {
 	Members []Entry
 }
 
+// KadFindNode is the Kademlia routing primitive: From asks the receiver for
+// the k contacts it knows closest (by XOR distance) to Key. From doubles as
+// a passive sighting — the receiver inserts the caller into its own buckets.
+// Refresh marks bucket-refresh traffic so telemetry can split maintenance
+// lookups from demand lookups; the receiver answers both identically.
+// There is no separate FindValue: chunk-index reads stay on the existing
+// Lookup message, routed to the key's owner first.
+type KadFindNode struct {
+	From    Entry
+	Key     uint64
+	Refresh bool
+}
+
+// KadFindNodeResp returns the receiver's identity (the caller refreshes its
+// bucket entry for the responder) and its k-closest contacts to the asked
+// key, nearest first.
+type KadFindNodeResp struct {
+	From    Entry
+	Closest []Entry
+}
+
 // ---------------------------------------------------------------------------
 // Framing.
 
@@ -416,6 +439,10 @@ func New(k Kind) (Message, error) {
 		return &CensusProbe{}, nil
 	case KindCensusResp:
 		return &CensusResp{}, nil
+	case KindKadFindNode:
+		return &KadFindNode{}, nil
+	case KindKadFindNodeResp:
+		return &KadFindNodeResp{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
 	}
@@ -857,5 +884,29 @@ func (m *CensusResp) decode(r *reader) error {
 	m.From = r.entry()
 	m.Digest = r.u64()
 	m.Members = r.entries()
+	return r.err
+}
+
+func (m *KadFindNode) Kind() Kind { return KindKadFindNode }
+func (m *KadFindNode) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	b = putU64(b, m.Key)
+	return putBool(b, m.Refresh)
+}
+func (m *KadFindNode) decode(r *reader) error {
+	m.From = r.entry()
+	m.Key = r.u64()
+	m.Refresh = r.boolean()
+	return r.err
+}
+
+func (m *KadFindNodeResp) Kind() Kind { return KindKadFindNodeResp }
+func (m *KadFindNodeResp) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	return putEntries(b, m.Closest)
+}
+func (m *KadFindNodeResp) decode(r *reader) error {
+	m.From = r.entry()
+	m.Closest = r.entries()
 	return r.err
 }

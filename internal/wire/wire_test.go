@@ -64,6 +64,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&CensusProbe{From: e2},
 		&CensusResp{From: e2, Digest: 1, Members: []Entry{e1}},
 		&CensusResp{From: e1},
+		&KadFindNode{From: e1, Key: 0x8000000000000001, Refresh: true},
+		&KadFindNode{From: e2, Key: 0},
+		&KadFindNodeResp{From: e2, Closest: []Entry{e1, e2}},
+		&KadFindNodeResp{From: e1},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -326,5 +330,34 @@ func TestCensusRoundTrip(t *testing.T) {
 	lone := roundTrip(t, &CensusProbe{From: view[0], Digest: 0}).(*CensusProbe)
 	if lone.From != view[0] || lone.Digest != 0 || len(lone.Members) != 0 {
 		t.Fatalf("lone-node probe mutated: %#v", lone)
+	}
+}
+
+// TestKadFindNodeRoundTrip pins the Kademlia routing contract on the wire:
+// the caller identity, target key, and refresh flag survive in the request,
+// and the responder identity plus the ordered k-closest list survive in the
+// response — iterative lookups merge exactly these fields.
+func TestKadFindNodeRoundTrip(t *testing.T) {
+	caller := Entry{ID: 0x00FF00FF00FF00FF, Addr: "kad-a:1"}
+	closest := []Entry{
+		{ID: 0x8000000000000000, Addr: "kad-b:2"},
+		{ID: 0x8000000000000001, Addr: "kad-c:3"},
+		{ID: 0xC000000000000000, Addr: "kad-d:4"},
+	}
+	req := &KadFindNode{From: caller, Key: 0x8000000000000002, Refresh: true}
+	gotReq := roundTrip(t, req).(*KadFindNode)
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("KadFindNode mutated:\n  sent %#v\n  got  %#v", req, gotReq)
+	}
+	resp := &KadFindNodeResp{From: closest[0], Closest: closest}
+	gotResp := roundTrip(t, resp).(*KadFindNodeResp)
+	if !reflect.DeepEqual(resp, gotResp) {
+		t.Fatalf("KadFindNodeResp mutated:\n  sent %#v\n  got  %#v", resp, gotResp)
+	}
+	// A responder with an empty routing table (fresh bootstrap target) must
+	// still answer with its identity intact.
+	empty := roundTrip(t, &KadFindNodeResp{From: caller}).(*KadFindNodeResp)
+	if empty.From != caller || len(empty.Closest) != 0 {
+		t.Fatalf("empty-table response mutated: %#v", empty)
 	}
 }
