@@ -64,6 +64,16 @@ func main() {
 		providerCool    = flag.Duration("provider-cooldown", 2*time.Second, "blacklist duration for a provider that failed a chunk transfer (0 disables)")
 		joinAttempts    = flag.Int("join-attempts", 3, "rounds over the -join list before giving up")
 		maxFrameKB      = flag.Int("max-frame-kb", 0, "per-connection frame size cap in KiB (0 = wire protocol default)")
+		ioReadTimeout   = flag.Duration("io-read-timeout", 0, "per-connection TCP read deadline; idle server conns are reclaimed after this (0 = 2m default)")
+		ioWriteTimeout  = flag.Duration("io-write-timeout", 0, "per-frame TCP write deadline (0 = 30s default)")
+
+		// Gray-failure defense (see DESIGN.md, "Gray failures: hedging,
+		// health scoring & deadline propagation").
+		hedge         = flag.Bool("hedge", true, "hedge slow chunk fetches to the next-best provider, first response wins")
+		hedgeMin      = flag.Duration("hedge-min", 20*time.Millisecond, "floor for the hedge trigger delay derived from the peer's latency EWMA")
+		hedgeMax      = flag.Duration("hedge-max", 300*time.Millisecond, "ceiling for the hedge trigger delay (also used against peers with no history)")
+		healthHalf    = flag.Duration("health-halflife", 5*time.Second, "decay half-life of peer suspicion scores (0 = default)")
+		healthSuspect = flag.Float64("health-suspect", 3, "suspicion score at which a peer counts as suspected and is deprioritized (0 = default)")
 
 		// Overload & admission control (see DESIGN.md, "Overload & admission
 		// control").
@@ -120,6 +130,13 @@ func main() {
 	cfg.Breaker.Cooldown = *breakerCooldown
 	cfg.ProviderCooldown = *providerCool
 	cfg.JoinAttempts = *joinAttempts
+	cfg.IOReadTimeout = *ioReadTimeout
+	cfg.IOWriteTimeout = *ioWriteTimeout
+	cfg.Hedge = *hedge
+	cfg.HedgeMinDelay = *hedgeMin
+	cfg.HedgeMaxDelay = *hedgeMax
+	cfg.HealthHalfLife = *healthHalf
+	cfg.HealthSuspect = *healthSuspect
 	cfg.UpBps = *upBps
 	cfg.AdmitQueue = *admitQueue
 	cfg.AdmitBurst = *admitBurst
@@ -251,11 +268,12 @@ func main() {
 			if *verbosity >= 1 {
 				st := node.Stats()
 				_, succ := node.Successor()
-				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d shed=%d paced=%d abandoned=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d succ=%s\n",
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d shed=%d paced=%d abandoned=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d hedges=%d/%d suspected=%d succ=%s\n",
 					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
 					st.FetchRetries, st.ChunksShedBusy, st.PacedServes, st.ChunksAbandoned,
 					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted,
-					st.ReplicaOpsApplied, st.IndexTakeovers, succ)
+					st.ReplicaOpsApplied, st.IndexTakeovers, st.HedgeWins, st.HedgesLaunched,
+					st.SuspectedPeers, succ)
 			}
 			if *chunks > 0 && !*source && int64(node.ChunkCount()) >= *chunks {
 				fmt.Println("stream complete; leaving")

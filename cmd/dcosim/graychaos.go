@@ -1,0 +1,390 @@
+package main
+
+// The "graychaos" method is the gray-failure soak: the real node stack on
+// both DHT backends under a seeded mix of alive-but-degraded peers —
+// persistent slow lanes, mid-frame chunk stalls (the peer answers control
+// RPCs but its data frames never finish), and asymmetric one-way
+// partitions — injected mid-stream. Each backend runs the identical
+// scenario twice, hedging disabled then enabled, and the run is judged on
+// the gray-failure invariants: the swarm still delivers (≥95%), no fetch
+// worker wedges (every node closes promptly), and hedging cuts the p99
+// chunk-fetch latency by at least 30% against the undefended run. This is
+// what BENCH_PR9.json is generated from.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/live"
+	"dco/internal/telemetry"
+	"dco/internal/transport"
+)
+
+// grayRunResult is one (backend, hedge) column. Field names are stable —
+// BENCH_PR9.json and CI trend checks parse them.
+type grayRunResult struct {
+	Backend          string  `json:"backend"`
+	Hedge            bool    `json:"hedge"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	DeliveredPercent float64 `json:"delivered_percent"` // min over all viewers
+
+	// Chunk-fetch latency distribution, summed over every viewer's
+	// dco_live_chunk_fetch_seconds histogram (interpolated quantiles).
+	Fetches  uint64  `json:"fetches"`
+	FetchP50 float64 `json:"fetch_p50_seconds"`
+	FetchP95 float64 `json:"fetch_p95_seconds"`
+	FetchP99 float64 `json:"fetch_p99_seconds"`
+
+	HedgesLaunched  uint64 `json:"hedges_launched"`
+	HedgeWins       uint64 `json:"hedge_wins"`
+	HedgesCancelled uint64 `json:"hedges_cancelled"`
+	DeadlineSheds   uint64 `json:"deadline_sheds"`
+	SuspectedPeers  uint64 `json:"suspected_peers"` // sum at stream end
+	LookupFailures  uint64 `json:"lookup_failures"`
+	ChunksAbandoned uint64 `json:"chunks_abandoned"`
+	WedgedWorkers   int    `json:"wedged_workers"` // nodes that failed to close in time
+	Injected        uint64 `json:"injected"`       // non-pass injector decisions
+}
+
+// grayChaosResult is the -json schema of a graychaos run.
+type grayChaosResult struct {
+	Method string          `json:"method"`
+	N      int             `json:"n"`
+	Chunks int64           `json:"chunks"`
+	Seed   int64           `json:"seed"`
+	Runs   []grayRunResult `json:"runs"`
+	// P99CutPercent[backend] = how much hedging cut p99 fetch latency.
+	P99CutPercent map[string]float64 `json:"p99_cut_percent"`
+}
+
+// histQuantileInterp estimates quantile q from cumulative bucket counts
+// with linear interpolation inside the winning bucket (the Prometheus
+// histogram_quantile estimator). The +Inf bucket reports the last finite
+// bound — quantiles cannot exceed what the buckets can resolve.
+func histQuantileInterp(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			if c == 0 {
+				return bounds[i]
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + frac*(bounds[i]-lo)
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// closeAllWatched closes every node concurrently with a per-node watchdog
+// and returns how many failed to close inside the grace window — each one
+// is a wedged worker (a goroutine stuck past every timeout the defense
+// layer is supposed to enforce).
+func closeAllWatched(nodes []*live.Node, grace time.Duration) int {
+	done := make(chan struct{}, len(nodes))
+	for _, nd := range nodes {
+		go func(nd *live.Node) {
+			nd.Close()
+			done <- struct{}{}
+		}(nd)
+	}
+	closed := 0
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	for closed < len(nodes) {
+		select {
+		case <-done:
+			closed++
+		case <-timer.C:
+			return len(nodes) - closed
+		}
+	}
+	return 0
+}
+
+// runGrayRun executes the shared scenario on one backend with hedging on
+// or off.
+func runGrayRun(backend string, hedge bool, n int, chunks, seed int64) grayRunResult {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dcosim: graychaos(%s,hedge=%v): %s\n", backend, hedge, fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+
+	cfg := live.DefaultNodeConfig()
+	cfg.DHT = backend
+	cfg.Channel.Period = 60 * time.Millisecond
+	cfg.Channel.ChunkBits = 8 * 1024
+	cfg.Channel.Count = chunks
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 250 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	cfg.RepublishEvery = 500 * time.Millisecond
+	cfg.Replicas = 2
+	cfg.ReplicateEvery = 25 * time.Millisecond
+	cfg.AntiEntropyEvery = 250 * time.Millisecond
+	cfg.Hedge = hedge
+	cfg.HedgeMinDelay = 20 * time.Millisecond
+	cfg.HedgeMaxDelay = 300 * time.Millisecond
+	// A generous playback horizon (200 periods = 12s): deadline propagation
+	// stays live on every call without abandoning chunks a defended fetch
+	// could still land.
+	cfg.FetchDeadlineChunks = 200
+
+	f := transport.NewFabric()
+	in := faulty.NewInjector(uint64(seed))
+	regs := make([]*telemetry.Registry, 0, n)
+	mkNode := func(c live.Config) *live.Node {
+		reg := telemetry.NewRegistry()
+		c.Telemetry = reg
+		nd, err := live.NewNode(c, func(h transport.Handler) (transport.Transport, error) {
+			m := f.Attach(h)
+			m.SetMetrics(transport.NewMetrics(reg))
+			return in.Wrap(m), nil
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		regs = append(regs, reg)
+		return nd
+	}
+
+	srcCfg := cfg
+	srcCfg.Source = true
+	src := mkNode(srcCfg)
+	viewers := make([]*live.Node, 0, n-1)
+	for i := 1; i < n; i++ {
+		viewers = append(viewers, mkNode(cfg))
+	}
+	all := append([]*live.Node{src}, viewers...)
+
+	src.Start()
+	start := time.Now()
+	var joinWG sync.WaitGroup
+	joinErr := make(chan error, len(viewers))
+	for _, nd := range viewers {
+		joinWG.Add(1)
+		go func(nd *live.Node) {
+			defer joinWG.Done()
+			if err := nd.Join(src.Addr()); err != nil {
+				joinErr <- err
+			}
+		}(nd)
+	}
+	joinWG.Wait()
+	select {
+	case err := <-joinErr:
+		fail("join: %v", err)
+	default:
+	}
+	for _, nd := range viewers {
+		nd.Start()
+	}
+
+	// Mid-stream, turn a deterministic slice of the viewers gray. The
+	// source stays clean: it is the only origin of chunks, and a grayed
+	// origin tests chunk scarcity, not gray-failure defense. The three sets
+	// are disjoint slices of the arrival order.
+	time.Sleep(time.Duration(chunks) * cfg.Channel.Period / 3)
+	stallN := n / 6
+	if stallN < 3 {
+		stallN = 3
+	}
+	slowN := n / 12
+	if slowN < 2 {
+		slowN = 2
+	}
+	oneN := n / 12
+	if oneN < 2 {
+		oneN = 2
+	}
+	if stallN+slowN+oneN > len(viewers) {
+		fail("n=%d too small for the gray sets (%d needed)", n, stallN+slowN+oneN+1)
+	}
+	grayAt := time.Now()
+	for _, v := range viewers[:stallN] {
+		in.SetMidFrameStall(v.Addr(), true)
+	}
+	for _, v := range viewers[stallN : stallN+slowN] {
+		in.SetSlowLane(v.Addr(), 150*time.Millisecond)
+	}
+	// One-way: everyone else loses the path TO these viewers while the
+	// viewers' own outbound calls (fetches, republishes — which re-advertise
+	// them as providers nobody can actually reach) keep flowing.
+	others := make([]string, 0, len(all))
+	onewayDst := make([]string, 0, oneN)
+	for _, v := range viewers[stallN+slowN : stallN+slowN+oneN] {
+		onewayDst = append(onewayDst, v.Addr())
+	}
+	for _, nd := range all {
+		skip := false
+		for _, d := range onewayDst {
+			if nd.Addr() == d {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			others = append(others, nd.Addr())
+		}
+	}
+	in.OneWay(others, onewayDst)
+	_ = grayAt
+
+	// Run the stream until every viewer has resolved every chunk — fetched
+	// or (past its playback horizon) abandoned. Gray viewers count too:
+	// their outbound data path still works.
+	streamDeadline := time.Now().Add(2 * time.Minute)
+	for {
+		done := true
+		for _, v := range viewers {
+			if int64(v.ChunkCount())+int64(v.Stats().ChunksAbandoned) < chunks {
+				done = false
+				break
+			}
+		}
+		if done || time.Now().After(streamDeadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wall := time.Since(start)
+
+	res := grayRunResult{Backend: backend, Hedge: hedge, WallSeconds: wall.Seconds()}
+	res.DeliveredPercent = 100
+	for _, v := range viewers {
+		p := 100 * float64(v.ChunkCount()) / float64(chunks)
+		if p < res.DeliveredPercent {
+			res.DeliveredPercent = p
+		}
+	}
+	for _, nd := range all {
+		st := nd.Stats()
+		res.HedgesLaunched += st.HedgesLaunched
+		res.HedgeWins += st.HedgeWins
+		res.HedgesCancelled += st.HedgesCancelled
+		res.DeadlineSheds += st.DeadlineSheds
+		res.SuspectedPeers += st.SuspectedPeers
+		res.LookupFailures += st.LookupFailures
+		res.ChunksAbandoned += st.ChunksAbandoned
+	}
+	res.Injected = in.Injected()
+
+	var bounds []float64
+	var counts []uint64
+	for _, reg := range regs {
+		snap := reg.Snapshot()
+		h, ok := snap.Histograms["dco_live_chunk_fetch_seconds"]
+		if !ok {
+			continue
+		}
+		if bounds == nil {
+			bounds = h.Bounds
+			counts = make([]uint64, len(h.Counts))
+		}
+		for i, c := range h.Counts {
+			counts[i] += c
+		}
+		res.Fetches += h.Count
+	}
+	if res.Fetches > 0 {
+		res.FetchP50 = histQuantileInterp(bounds, counts, res.Fetches, 0.50)
+		res.FetchP95 = histQuantileInterp(bounds, counts, res.Fetches, 0.95)
+		res.FetchP99 = histQuantileInterp(bounds, counts, res.Fetches, 0.99)
+	}
+
+	// The wedge check: every node — gray ones included — must close inside
+	// the grace window. A fetch worker stuck past every deadline shows up
+	// here as a hung Close.
+	res.WedgedWorkers = closeAllWatched(all, 15*time.Second)
+	return res
+}
+
+// runGrayChaos executes the gray-failure soak on both backends and exits
+// the process.
+func runGrayChaos(n int, chunks, seed int64, jsonOut string) {
+	if n < 24 {
+		fmt.Printf("graychaos: raising n=%d to the scenario floor of 24\n", n)
+		n = 24
+	}
+	res := grayChaosResult{Method: "graychaos", N: n, Chunks: chunks, Seed: seed, P99CutPercent: map[string]float64{}}
+	for _, backend := range []string{"chord", "kademlia"} {
+		var off, on grayRunResult
+		for _, hedge := range []bool{false, true} {
+			fmt.Printf("--- backend=%s hedge=%v n=%d chunks=%d (slow lanes + mid-frame stalls + one-way partitions at t/3)\n",
+				backend, hedge, n, chunks)
+			r := runGrayRun(backend, hedge, n, chunks, seed)
+			fmt.Printf("wall time:              %v\n", time.Duration(r.WallSeconds*float64(time.Second)).Round(time.Millisecond))
+			fmt.Printf("delivered (min viewer): %.2f%%\n", r.DeliveredPercent)
+			fmt.Printf("fetches:                %d (p50=%.3fs p95=%.3fs p99=%.3fs)\n", r.Fetches, r.FetchP50, r.FetchP95, r.FetchP99)
+			fmt.Printf("hedges:                 launched=%d wins=%d cancelled=%d\n", r.HedgesLaunched, r.HedgeWins, r.HedgesCancelled)
+			fmt.Printf("deadline sheds:         %d  suspected peers: %d  lookup failures: %d  abandoned: %d\n",
+				r.DeadlineSheds, r.SuspectedPeers, r.LookupFailures, r.ChunksAbandoned)
+			fmt.Printf("wedged workers:         %d  injected faults: %d\n", r.WedgedWorkers, r.Injected)
+			if hedge {
+				on = r
+			} else {
+				off = r
+			}
+			res.Runs = append(res.Runs, r)
+		}
+		cut := 0.0
+		if off.FetchP99 > 0 {
+			cut = 100 * (off.FetchP99 - on.FetchP99) / off.FetchP99
+		}
+		res.P99CutPercent[backend] = cut
+		fmt.Printf("=== backend=%s p99 fetch latency: hedge-off %.3fs → hedge-on %.3fs (cut %.1f%%)\n",
+			backend, off.FetchP99, on.FetchP99, cut)
+	}
+
+	if jsonOut != "" {
+		if err := writeJSONAny(jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Acceptance: the defended runs deliver, nothing wedges anywhere, the
+	// faults actually fired, hedging actually engaged, and it bought ≥30%
+	// of p99 on both backends.
+	bad := false
+	for _, r := range res.Runs {
+		if r.Injected == 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: graychaos: backend %s hedge=%v injected no faults; the run tested nothing\n", r.Backend, r.Hedge)
+			bad = true
+		}
+		if r.WedgedWorkers != 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: graychaos: backend %s hedge=%v left %d wedged workers\n", r.Backend, r.Hedge, r.WedgedWorkers)
+			bad = true
+		}
+		if r.Hedge && (r.DeliveredPercent < 95 || r.HedgesLaunched == 0) {
+			fmt.Fprintf(os.Stderr, "dcosim: graychaos: backend %s failed acceptance (delivered=%.2f hedges=%d)\n",
+				r.Backend, r.DeliveredPercent, r.HedgesLaunched)
+			bad = true
+		}
+	}
+	for backend, cut := range res.P99CutPercent {
+		if cut < 30 {
+			fmt.Fprintf(os.Stderr, "dcosim: graychaos: backend %s p99 cut %.1f%% < 30%%\n", backend, cut)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

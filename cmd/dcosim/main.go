@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain | dhtcompare")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain | dhtcompare | graychaos")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -62,6 +62,13 @@ func main() {
 		// scenario run on both DHT backends, reporting lookup hops, control
 		// overhead, and recovery time side by side.
 		runDHTCompare(*n, *chunks, *seed, *jsonOut)
+		return
+	}
+	if *method == "graychaos" {
+		// Also the real node stack: a seeded mix of slow lanes, mid-frame
+		// stalls, and one-way partitions at t/3, on both backends, with
+		// hedging off then on — the gray-failure acceptance scenario.
+		runGrayChaos(*n, *chunks, *seed, *jsonOut)
 		return
 	}
 	if *method == "splitbrain" {

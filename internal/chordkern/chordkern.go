@@ -39,8 +39,9 @@ type Kernel struct {
 	trace *telemetry.Trace
 	done  <-chan struct{}
 
-	mu sync.Mutex
-	cs *chord.State[string]
+	mu          sync.Mutex
+	cs          *chord.State[string]
+	quarantined map[string]time.Time
 
 	stabilizeRuns *telemetry.Counter
 	fingerFixes   *telemetry.Counter
@@ -220,11 +221,41 @@ func (k *Kernel) View() []dht.Member {
 	return out
 }
 
-// PeerFailed purges a conclusively dead peer from the ring tables.
+// peerQuarantine is how long a conclusively failed peer is barred from
+// passive re-adoption (Notify, stabilize gossip). Without it, a one-way
+// partitioned peer — unreachable, but with working outbound — re-inserts
+// itself into its successor's tables every stabilize tick via Notify,
+// gets condemned again by check_predecessor, and the pointer flap keeps
+// mis-routing lookups for the peer's arc indefinitely. Active merge
+// traffic bypasses the quarantine: a census probe that just reached the
+// peer is fresh evidence the partition healed.
+const peerQuarantine = 2 * time.Second
+
+// PeerFailed purges a conclusively dead peer from the ring tables and
+// quarantines it against passive re-adoption.
 func (k *Kernel) PeerFailed(addr string) {
 	k.mu.Lock()
 	k.cs.RemoveFailed(addr)
+	if k.quarantined == nil {
+		k.quarantined = make(map[string]time.Time)
+	}
+	k.quarantined[addr] = time.Now().Add(peerQuarantine)
 	k.mu.Unlock()
+}
+
+// quarantinedLocked reports whether addr is still barred from passive
+// re-adoption. Caller holds k.mu. Expired entries are pruned in place so
+// the map tracks only active suspects.
+func (k *Kernel) quarantinedLocked(addr string) bool {
+	until, ok := k.quarantined[addr]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(k.quarantined, addr)
+		return false
+	}
+	return true
 }
 
 // Observe is a no-op for Chord: ring pointers only move through the
@@ -403,6 +434,9 @@ func (k *Kernel) Leave() {
 // which its next stabilize round propagates backward around that ring.
 func (k *Kernel) Merge(target dht.Member, others []dht.Member) {
 	k.mu.Lock()
+	// The merge detector just reached the target — lift any quarantine so
+	// the healed peer is re-adoptable immediately.
+	delete(k.quarantined, target.Addr)
 	k.cs.MergeCandidate(toEntry(target))
 	for _, m := range others {
 		if m.Addr == "" || m.Addr == k.self.Addr {
@@ -465,11 +499,15 @@ func (k *Kernel) stabilize() {
 	k.mu.Lock()
 	cur := k.cs.Successor()
 	if cur.Addr == succ.Addr {
-		if st.PredOK && st.Pred.Addr != k.self.Addr && chord.InOO(k.cs.Self.ID, chord.ID(st.Pred.ID), succ.ID) {
+		if st.PredOK && st.Pred.Addr != k.self.Addr && !k.quarantinedLocked(st.Pred.Addr) &&
+			chord.InOO(k.cs.Self.ID, chord.ID(st.Pred.ID), succ.ID) {
 			k.cs.SetSuccessor(entryT{ID: chord.ID(st.Pred.ID), Addr: st.Pred.Addr, OK: true})
 		} else {
 			var list []entryT
 			for _, e := range st.Succs {
+				if k.quarantinedLocked(e.Addr) {
+					continue
+				}
 				list = append(list, entryT{ID: chord.ID(e.ID), Addr: e.Addr, OK: true})
 			}
 			k.cs.AdoptSuccessorList(succ, list)
@@ -577,7 +615,10 @@ func (k *Kernel) getState() *wire.GetStateResp {
 func (k *Kernel) onNotify(m *wire.Notify) wire.Message {
 	cand := entryT{ID: chord.ID(m.From.ID), Addr: m.From.Addr, OK: true}
 	k.mu.Lock()
-	adopted := k.cs.Notify(cand)
+	adopted := false
+	if !k.quarantinedLocked(cand.Addr) {
+		adopted = k.cs.Notify(cand)
+	}
 	k.mu.Unlock()
 	k.seen(m.From)
 	if adopted && k.ev.RangeChanged != nil {

@@ -13,11 +13,21 @@
 // idempotency), payload corruption (one seeded byte flip in a delivered
 // chunk — exercising checksum verification), and partition sets that cut
 // groups of addresses off from each other.
+//
+// Gray-failure modes (peers alive but degraded, invisible to a breaker
+// that trips only on conclusive errors): mid-frame stalls (the callee
+// accepts the request and never finishes; the caller burns its full call
+// timeout — Rule.Stall for a probabilistic mix, SetStalled for a
+// persistent one), persistent per-destination slow lanes (SetSlowLane:
+// every otherwise-clean call pays a seeded-jitter delay), and asymmetric
+// one-way partitions (OneWay: src→dst fails while dst→src flows).
 package faulty
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dco/internal/transport"
@@ -50,6 +60,12 @@ type Rule struct {
 	// broken codec. The flipped byte index and XOR mask come from the
 	// seeded schedule, so a corrupted run is exactly reproducible.
 	Corrupt float64
+	// Stall is P(the callee accepts the request and never finishes the
+	// exchange — a mid-frame stall). The caller blocks for its full call
+	// timeout before seeing an error: the most expensive gray failure,
+	// since unlike Drop it cannot be compressed without lying about the
+	// wall-clock cost the defense layer must bound.
+	Stall float64
 }
 
 // Action is the outcome chosen for one call.
@@ -64,6 +80,9 @@ const (
 	Delayed
 	Partitioned
 	Corrupted
+	Stalled
+	SlowLaned
+	OneWayBlocked
 )
 
 func (a Action) String() string {
@@ -82,6 +101,12 @@ func (a Action) String() string {
 		return "partitioned"
 	case Corrupted:
 		return "corrupted"
+	case Stalled:
+		return "stalled"
+	case SlowLaned:
+		return "slowlaned"
+	case OneWayBlocked:
+		return "onewayblocked"
 	default:
 		return "unknown"
 	}
@@ -117,20 +142,33 @@ type Injector struct {
 
 	mu       sync.Mutex
 	def      Rule
-	rules    map[string]Rule   // per destination address
-	seqs     map[string]uint64 // per "src|dst" counter
-	groups   map[string]int    // partition group per address (0 = none)
+	rules    map[string]Rule          // per destination address
+	seqs     map[string]uint64        // per "src|dst" counter
+	groups   map[string]int           // partition group per address (0 = none)
+	slow     map[string]time.Duration // persistent slow-lane delay per destination
+	stalled  map[string]bool          // persistently stalled destinations (every call)
+	stalledD map[string]bool          // persistently stalled chunk frames only
+	oneway   []onewayRule             // asymmetric partitions
 	history  []Decision
 	injected uint64 // non-pass decisions
+}
+
+// onewayRule blocks src→dst while leaving dst→src untouched.
+type onewayRule struct {
+	srcs map[string]bool
+	dsts map[string]bool
 }
 
 // NewInjector builds an injector with the given schedule seed.
 func NewInjector(seed uint64) *Injector {
 	return &Injector{
-		seed:   seed,
-		rules:  make(map[string]Rule),
-		seqs:   make(map[string]uint64),
-		groups: make(map[string]int),
+		seed:     seed,
+		rules:    make(map[string]Rule),
+		seqs:     make(map[string]uint64),
+		groups:   make(map[string]int),
+		slow:     make(map[string]time.Duration),
+		stalled:  make(map[string]bool),
+		stalledD: make(map[string]bool),
 	}
 }
 
@@ -164,11 +202,79 @@ func (in *Injector) Partition(sets ...[]string) {
 	}
 }
 
-// Heal removes all partitions.
+// SetSlowLane installs (delay > 0) or removes (delay <= 0) a persistent
+// slow lane toward dst: every otherwise-clean call to dst pays a seeded
+// jittered delay in [delay/2, delay]. Unlike Rule.Delay this is
+// unconditional — the lane models a congested or degraded path, not an
+// occasional hiccup — so health scoring sees a consistently slow peer.
+func (in *Injector) SetSlowLane(dst string, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if delay <= 0 {
+		delete(in.slow, dst)
+		return
+	}
+	in.slow[dst] = delay
+}
+
+// SetStalled marks (or clears) dst as persistently stalled: every call
+// toward it is accepted and then never finishes, burning the caller's
+// full call timeout before surfacing an injected error.
+func (in *Injector) SetStalled(dst string, stalled bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !stalled {
+		delete(in.stalled, dst)
+		return
+	}
+	in.stalled[dst] = true
+}
+
+// SetMidFrameStall marks (or clears) dst as stalled mid-frame on chunk
+// transfers only: GetChunk calls toward it are accepted and never finish
+// (the frame write wedges partway), while small control RPCs — lookups,
+// inserts, ring maintenance — still complete normally. This is the
+// textbook gray failure: the peer looks perfectly healthy to everything
+// except the bulk data path, so only a defense that watches the data path
+// itself (hedging, health scoring) can route around it.
+func (in *Injector) SetMidFrameStall(dst string, stalled bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !stalled {
+		delete(in.stalledD, dst)
+		return
+	}
+	in.stalledD[dst] = true
+}
+
+// OneWay installs an asymmetric partition: calls from any address in srcs
+// to any address in dsts fail as OneWayBlocked, while the reverse
+// direction flows untouched — the classic gray failure where A can reach
+// B but B's answers (or B's own calls) never make it back. Repeated calls
+// accumulate; Heal clears them along with symmetric partitions.
+func (in *Injector) OneWay(srcs, dsts []string) {
+	r := onewayRule{srcs: make(map[string]bool, len(srcs)), dsts: make(map[string]bool, len(dsts))}
+	for _, a := range srcs {
+		r.srcs[a] = true
+	}
+	for _, a := range dsts {
+		r.dsts[a] = true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.oneway = append(in.oneway, r)
+}
+
+// Heal removes all partitions, symmetric and one-way, plus slow lanes and
+// persistent stalls.
 func (in *Injector) Heal() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.groups = make(map[string]int)
+	in.oneway = nil
+	in.slow = make(map[string]time.Duration)
+	in.stalled = make(map[string]bool)
+	in.stalledD = make(map[string]bool)
 }
 
 // History returns a copy of the decision log (most recent maxHistory
@@ -194,7 +300,7 @@ func (in *Injector) Wrap(tr transport.Transport) transport.Transport {
 }
 
 // decide rolls the deterministic schedule for the next call src→dst.
-func (in *Injector) decide(src, dst string) Decision {
+func (in *Injector) decide(src, dst string, dataFrame bool) Decision {
 	in.mu.Lock()
 	key := src + "|" + dst
 	seq := in.seqs[key]
@@ -204,12 +310,25 @@ func (in *Injector) decide(src, dst string) Decision {
 		rule = in.def
 	}
 	sg, dg := in.groups[src], in.groups[dst]
+	blockedOneWay := false
+	for _, ow := range in.oneway {
+		if ow.srcs[src] && ow.dsts[dst] {
+			blockedOneWay = true
+			break
+		}
+	}
+	stalledDst := in.stalled[dst] || (dataFrame && in.stalledD[dst])
+	slowLane := in.slow[dst]
 	in.mu.Unlock()
 
 	d := Decision{Src: src, Dst: dst, Seq: seq, Action: Pass}
 	switch {
 	case sg != 0 && dg != 0 && sg != dg:
 		d.Action = Partitioned
+	case blockedOneWay:
+		d.Action = OneWayBlocked
+	case stalledDst:
+		d.Action = Stalled
 	case roll(in.seed, key, seq, 0) < rule.Refuse:
 		d.Action = Refused
 	case roll(in.seed, key, seq, 1) < rule.Drop:
@@ -222,6 +341,13 @@ func (in *Injector) decide(src, dst string) Decision {
 		d.Delay = time.Duration(roll(in.seed, key, seq, 4) * float64(rule.DelayBy))
 	case roll(in.seed, key, seq, 5) < rule.Corrupt:
 		d.Action = Corrupted
+	case roll(in.seed, key, seq, 8) < rule.Stall:
+		d.Action = Stalled
+	case slowLane > 0:
+		// Persistent slow lane: the call goes through, late. Jitter in
+		// [delay/2, delay] from the seeded schedule (lane 9).
+		d.Action = SlowLaned
+		d.Delay = slowLane/2 + time.Duration(roll(in.seed, key, seq, 9)*float64(slowLane/2))
 	}
 
 	in.mu.Lock()
@@ -257,8 +383,9 @@ func roll(seed uint64, key string, seq uint64, lane uint64) float64 {
 
 // faultTransport applies the injector's schedule to outbound calls.
 type faultTransport struct {
-	in    *Injector
-	inner transport.Transport
+	in       *Injector
+	inner    transport.Transport
+	observer atomic.Pointer[transport.Observer]
 }
 
 // Addr returns the wrapped transport's address.
@@ -267,13 +394,57 @@ func (f *faultTransport) Addr() string { return f.inner.Addr() }
 // Close closes the wrapped transport.
 func (f *faultTransport) Close() error { return f.inner.Close() }
 
+// SetObserver attaches a per-call observer at the decorator, timing
+// around the whole faulted call — injected delays, stalls, and slow lanes
+// included — so health scoring sees the latency a caller actually
+// experienced, not the latency the inner transport intended. It is NOT
+// forwarded to the inner transport (that would double-count every call
+// with fault-free timings).
+func (f *faultTransport) SetObserver(o transport.Observer) {
+	if o == nil {
+		f.observer.Store(nil)
+		return
+	}
+	f.observer.Store(&o)
+}
+
 // Call applies one scheduled decision, then delegates to the inner
 // transport (zero, one, or two times).
 func (f *faultTransport) Call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
-	d := f.in.decide(f.inner.Addr(), addr)
+	start := time.Now()
+	resp, err := f.call(addr, req, timeout)
+	if o := f.observer.Load(); o != nil {
+		oerr := err
+		var we *wire.Error
+		if errors.As(oerr, &we) {
+			// Application-level rejection: the peer answered, matching what
+			// the TCP observer reports.
+			oerr = nil
+		}
+		(*o)(addr, time.Since(start), oerr)
+	}
+	return resp, err
+}
+
+func (f *faultTransport) call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	_, dataFrame := req.(*wire.GetChunk)
+	d := f.in.decide(f.inner.Addr(), addr, dataFrame)
 	switch d.Action {
 	case Partitioned:
 		return nil, &Error{Action: Partitioned, Dst: addr}
+	case OneWayBlocked:
+		return nil, &Error{Action: OneWayBlocked, Dst: addr}
+	case Stalled:
+		// Mid-frame stall: the callee accepted and will never finish. The
+		// caller pays its entire timeout budget — uncompressed, because the
+		// wall-clock cost is exactly what the gray-failure defenses must
+		// bound.
+		wait := timeout
+		if wait <= 0 {
+			wait = 10 * time.Second // transport's own default patience
+		}
+		time.Sleep(wait)
+		return nil, &Error{Action: Stalled, Dst: addr}
 	case Refused:
 		return nil, &Error{Action: Refused, Dst: addr}
 	case Dropped:
@@ -286,7 +457,7 @@ func (f *faultTransport) Call(addr string, req wire.Message, timeout time.Durati
 			return nil, err
 		}
 		return f.inner.Call(addr, req, timeout)
-	case Delayed:
+	case Delayed, SlowLaned:
 		if d.Delay > 0 {
 			time.Sleep(d.Delay)
 		}

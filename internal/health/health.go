@@ -1,0 +1,293 @@
+// Package health scores peer liveness on a spectrum instead of the
+// breaker's binary verdict. The circuit breaker (internal/retry) trips
+// only on conclusive transport errors — a peer that is alive yet degraded
+// (answering slowly, stalling mid-frame, reachable in only one direction)
+// never opens a circuit, yet it can pin chunk fetches for whole call
+// timeouts. The Tracker keeps, per address, a latency EWMA with a running
+// deviation estimate and a phi-accrual-style suspicion score: errors and
+// abnormally slow responses raise it, timely responses and the passage of
+// time decay it back toward neutral. Consumers use the score to
+// *deprioritize* — never to purge: purging stays the breaker's job, on
+// conclusive evidence only.
+//
+// The tracker is fed from transport observer hooks (one observation per
+// outbound call attempt, injected faults included), so it sees exactly
+// the latency a caller experienced — not the latency the peer intended.
+package health
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Tracker. The zero value derives all defaults.
+type Config struct {
+	// HalfLife is the decay half-life of the suspicion score: with no new
+	// evidence, a peer's suspicion halves every HalfLife (aging back to
+	// neutral so a recovered peer regains traffic). 0 derives 5s.
+	HalfLife time.Duration
+
+	// SuspectThreshold is the suspicion score at or above which a peer
+	// counts as suspected (Suspected returns true and selection
+	// deprioritizes it). One conclusive error contributes errBump (1.0);
+	// the default threshold of 3 therefore needs a short burst of bad
+	// evidence, not a single hiccup. 0 derives 3.
+	SuspectThreshold float64
+
+	// MaxPeers bounds the per-address table; beyond it the least recently
+	// observed peer is evicted. 0 derives 1024.
+	MaxPeers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HalfLife <= 0 {
+		c.HalfLife = 5 * time.Second
+	}
+	if c.SuspectThreshold <= 0 {
+		c.SuspectThreshold = 3
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 1024
+	}
+	return c
+}
+
+// Evidence weights. An error is worth one full unit of suspicion; a slow
+// response contributes up to slowBumpMax depending on how many deviations
+// past the EWMA it landed; a timely response multiplies suspicion by
+// okDecay on top of the time decay (good news travels fast).
+const (
+	errBump     = 1.0
+	slowBumpMax = 0.5
+	okDecay     = 0.7
+
+	// ewmaAlpha is the per-observation smoothing factor for the latency
+	// mean and deviation (~ the last 10 observations dominate).
+	ewmaAlpha = 0.2
+
+	// slowSigma is how many deviations past the EWMA a response must land
+	// to count as slow evidence at all.
+	slowSigma = 4.0
+)
+
+// peer is one address's rolling state. Latencies are kept in seconds.
+type peer struct {
+	ewma    float64 // latency EWMA
+	dev     float64 // EWMA of |sample - ewma| (mean absolute deviation)
+	susp    float64 // suspicion score at the time of `at`
+	samples uint64
+	at      time.Time // last observation (decay reference + LRU eviction)
+}
+
+// Tracker scores peers by address. All methods are safe for concurrent
+// use; a nil *Tracker is a valid no-op that reports every peer neutral.
+type Tracker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*peer
+
+	// now is a test seam.
+	now func() time.Time
+}
+
+// NewTracker builds a tracker with cfg (zero-value cfg derives defaults).
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), peers: make(map[string]*peer), now: time.Now}
+}
+
+// decayedLocked returns p's suspicion decayed to t.
+func (p *peer) decayedLocked(t time.Time, halfLife time.Duration) float64 {
+	dt := t.Sub(p.at)
+	if dt <= 0 {
+		return p.susp
+	}
+	return p.susp * math.Exp2(-float64(dt)/float64(halfLife))
+}
+
+// Observe records one call attempt's outcome against addr. ok=false means
+// the attempt failed conclusively (transport error, injected fault,
+// timeout); ok=true covers any answered call — including application-level
+// rejections, which prove the peer alive. rtt is the attempt's round-trip
+// wall time and feeds the latency EWMA only on answered calls (a timeout's
+// rtt measures the caller's patience, not the peer).
+func (t *Tracker) Observe(addr string, rtt time.Duration, ok bool) {
+	if t == nil || addr == "" {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		p = &peer{at: now}
+		t.peers[addr] = p
+		t.evictLocked()
+	}
+	susp := p.decayedLocked(now, t.cfg.HalfLife)
+	if !ok {
+		susp += errBump
+	} else {
+		sample := rtt.Seconds()
+		if p.samples == 0 {
+			p.ewma = sample
+			p.dev = sample / 2
+		} else {
+			slowAt := p.ewma + slowSigma*p.dev
+			if p.samples >= 3 && sample > slowAt && slowAt > 0 {
+				// Abnormally slow for this peer: partial evidence, scaled
+				// by how far past the slow line it landed.
+				excess := (sample - slowAt) / (slowAt + 1e-9)
+				bump := slowBumpMax * excess
+				if bump > slowBumpMax {
+					bump = slowBumpMax
+				}
+				susp += bump
+			} else {
+				susp *= okDecay
+			}
+			d := sample - p.ewma
+			p.ewma += ewmaAlpha * d
+			p.dev += ewmaAlpha * (math.Abs(d) - p.dev)
+		}
+		p.samples++
+	}
+	p.susp = susp
+	p.at = now
+}
+
+// evictLocked drops the least recently observed peer when the table is
+// over budget. Caller holds t.mu.
+func (t *Tracker) evictLocked() {
+	if len(t.peers) <= t.cfg.MaxPeers {
+		return
+	}
+	var oldestAddr string
+	var oldest time.Time
+	for a, p := range t.peers {
+		if oldestAddr == "" || p.at.Before(oldest) {
+			oldestAddr, oldest = a, p.at
+		}
+	}
+	delete(t.peers, oldestAddr)
+}
+
+// Suspicion returns addr's current suspicion score, decayed to now
+// (0 = neutral; unknown peers are neutral).
+func (t *Tracker) Suspicion(addr string) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		return 0
+	}
+	return p.decayedLocked(t.now(), t.cfg.HalfLife)
+}
+
+// Suspected reports whether addr's suspicion is at or above the
+// configured threshold.
+func (t *Tracker) Suspected(addr string) bool {
+	if t == nil {
+		return false
+	}
+	return t.Suspicion(addr) >= t.cfg.SuspectThreshold
+}
+
+// ExpectedLatency returns addr's latency EWMA (ok=false for peers with no
+// answered calls yet).
+func (t *Tracker) ExpectedLatency(addr string) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil || p.samples == 0 {
+		return 0, false
+	}
+	return time.Duration(p.ewma * float64(time.Second)), true
+}
+
+// HedgeAfter returns how long a caller should wait on addr before
+// launching a hedged duplicate: the peer's p95-ish latency estimate
+// (EWMA + slowSigma deviations), clamped to [min, max]. A peer with no
+// latency history returns max — hedge conservatively against strangers.
+func (t *Tracker) HedgeAfter(addr string, min, max time.Duration) time.Duration {
+	if max < min {
+		max = min
+	}
+	if t == nil {
+		return max
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil || p.samples < 3 {
+		return max
+	}
+	d := time.Duration((p.ewma + slowSigma*p.dev) * float64(time.Second))
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// FactorMilli converts addr's suspicion into a load multiplier in
+// thousandths: 1000 for a neutral peer, growing linearly with suspicion
+// (one error's worth of suspicion doubles the peer's effective load),
+// capped at 16000. Selection multiplies a peer's reported load factor by
+// this, so degraded peers sink in capacity-weighted ordering without ever
+// being excluded outright.
+func (t *Tracker) FactorMilli(addr string) uint32 {
+	if t == nil {
+		return 1000
+	}
+	s := t.Suspicion(addr)
+	f := 1000 * (1 + s)
+	if f > 16000 {
+		f = 16000
+	}
+	return uint32(f)
+}
+
+// SuspectedCount returns how many tracked peers are currently at or above
+// the suspicion threshold (gauges).
+func (t *Tracker) SuspectedCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	c := 0
+	for _, p := range t.peers {
+		if p.decayedLocked(now, t.cfg.HalfLife) >= t.cfg.SuspectThreshold {
+			c++
+		}
+	}
+	return c
+}
+
+// Len returns how many peers the tracker holds state for.
+func (t *Tracker) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.peers)
+}
+
+// SetNow replaces the tracker's clock (tests).
+func (t *Tracker) SetNow(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}

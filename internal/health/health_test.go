@@ -1,0 +1,212 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually so decay arithmetic is exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(cfg Config) (*Tracker, *fakeClock) {
+	tr := NewTracker(cfg)
+	clk := newFakeClock()
+	tr.SetNow(clk.now)
+	return tr, clk
+}
+
+func TestNilTrackerIsNeutral(t *testing.T) {
+	var tr *Tracker
+	tr.Observe("a", time.Millisecond, true)
+	if tr.Suspicion("a") != 0 || tr.Suspected("a") || tr.FactorMilli("a") != 1000 {
+		t.Fatal("nil tracker must be neutral")
+	}
+	if d := tr.HedgeAfter("a", 10*time.Millisecond, 100*time.Millisecond); d != 100*time.Millisecond {
+		t.Fatalf("nil tracker HedgeAfter = %v, want max", d)
+	}
+}
+
+func TestUnknownPeerNeutral(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	if tr.Suspicion("ghost") != 0 || tr.Suspected("ghost") {
+		t.Fatal("unknown peer must be neutral")
+	}
+	if tr.FactorMilli("ghost") != 1000 {
+		t.Fatal("unknown peer factor must be 1000")
+	}
+}
+
+func TestErrorsRaiseSuspicionAndDecayBackToNeutral(t *testing.T) {
+	tr, clk := newTestTracker(Config{HalfLife: time.Second, SuspectThreshold: 3})
+	for i := 0; i < 3; i++ {
+		tr.Observe("p", 0, false)
+	}
+	if s := tr.Suspicion("p"); s < 3 {
+		t.Fatalf("3 errors should reach the threshold, got %v", s)
+	}
+	if !tr.Suspected("p") {
+		t.Fatal("peer should be suspected")
+	}
+	if f := tr.FactorMilli("p"); f <= 1000 {
+		t.Fatalf("suspected peer factor = %d, want > 1000", f)
+	}
+	// Two half-lives with no evidence: suspicion quarters — back under
+	// threshold, aging toward neutral.
+	clk.advance(2 * time.Second)
+	if s := tr.Suspicion("p"); s >= 1 {
+		t.Fatalf("suspicion after 2 half-lives = %v, want < 1", s)
+	}
+	if tr.Suspected("p") {
+		t.Fatal("peer should have aged back under the threshold")
+	}
+}
+
+func TestTimelyResponsesClearSuspicionFast(t *testing.T) {
+	tr, _ := newTestTracker(Config{HalfLife: time.Hour}) // isolate the ok-decay
+	// Establish a latency baseline.
+	for i := 0; i < 5; i++ {
+		tr.Observe("p", 10*time.Millisecond, true)
+	}
+	tr.Observe("p", 0, false)
+	tr.Observe("p", 0, false)
+	before := tr.Suspicion("p")
+	for i := 0; i < 10; i++ {
+		tr.Observe("p", 10*time.Millisecond, true)
+	}
+	after := tr.Suspicion("p")
+	if after >= before/10 {
+		t.Fatalf("timely responses should decay suspicion fast: before=%v after=%v", before, after)
+	}
+}
+
+func TestSlowResponsesRaiseSuspicion(t *testing.T) {
+	tr, _ := newTestTracker(Config{HalfLife: time.Hour})
+	for i := 0; i < 10; i++ {
+		tr.Observe("p", 10*time.Millisecond, true)
+	}
+	base := tr.Suspicion("p")
+	// A persistent slow lane: every response far past the p95 line.
+	for i := 0; i < 20; i++ {
+		tr.Observe("p", 500*time.Millisecond, true)
+	}
+	if s := tr.Suspicion("p"); s <= base {
+		t.Fatalf("persistently slow responses should raise suspicion (base=%v now=%v)", base, s)
+	}
+}
+
+func TestExpectedLatencyTracksEWMA(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	if _, ok := tr.ExpectedLatency("p"); ok {
+		t.Fatal("no samples yet")
+	}
+	for i := 0; i < 20; i++ {
+		tr.Observe("p", 40*time.Millisecond, true)
+	}
+	got, ok := tr.ExpectedLatency("p")
+	if !ok || got < 30*time.Millisecond || got > 50*time.Millisecond {
+		t.Fatalf("EWMA = %v, want ~40ms", got)
+	}
+	// Errors must not pollute the latency estimate.
+	tr.Observe("p", 5*time.Second, false)
+	got2, _ := tr.ExpectedLatency("p")
+	if got2 != got {
+		t.Fatalf("error observation moved the EWMA: %v -> %v", got, got2)
+	}
+}
+
+func TestHedgeAfterClampsAndDefaults(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	min, max := 20*time.Millisecond, 300*time.Millisecond
+	// Stranger: conservative (max).
+	if d := tr.HedgeAfter("new", min, max); d != max {
+		t.Fatalf("stranger hedge = %v, want %v", d, max)
+	}
+	// Fast stable peer: clamped up to min.
+	for i := 0; i < 20; i++ {
+		tr.Observe("fast", time.Millisecond, true)
+	}
+	if d := tr.HedgeAfter("fast", min, max); d != min {
+		t.Fatalf("fast peer hedge = %v, want floor %v", d, min)
+	}
+	// Slow peer: clamped down to max.
+	for i := 0; i < 20; i++ {
+		tr.Observe("slow", 2*time.Second, true)
+	}
+	if d := tr.HedgeAfter("slow", min, max); d != max {
+		t.Fatalf("slow peer hedge = %v, want ceiling %v", d, max)
+	}
+	// Mid peer: between the clamps, above its own EWMA.
+	for i := 0; i < 50; i++ {
+		tr.Observe("mid", 50*time.Millisecond, true)
+	}
+	d := tr.HedgeAfter("mid", min, max)
+	if d <= 50*time.Millisecond || d >= max {
+		t.Fatalf("mid peer hedge = %v, want in (50ms, %v)", d, max)
+	}
+}
+
+func TestMaxPeersEvictsOldest(t *testing.T) {
+	tr, clk := newTestTracker(Config{MaxPeers: 4})
+	for i := 0; i < 8; i++ {
+		tr.Observe(fmt.Sprintf("p%d", i), time.Millisecond, true)
+		clk.advance(time.Millisecond)
+	}
+	if n := tr.Len(); n != 4 {
+		t.Fatalf("tracker holds %d peers, want 4", n)
+	}
+	// Newest survives, oldest evicted.
+	if _, ok := tr.ExpectedLatency("p7"); !ok {
+		t.Fatal("newest peer evicted")
+	}
+	if _, ok := tr.ExpectedLatency("p0"); ok {
+		t.Fatal("oldest peer retained")
+	}
+}
+
+func TestSuspectedCount(t *testing.T) {
+	tr, _ := newTestTracker(Config{SuspectThreshold: 1})
+	tr.Observe("bad", 0, false)
+	tr.Observe("bad", 0, false)
+	tr.Observe("good", time.Millisecond, true)
+	if c := tr.SuspectedCount(); c != 1 {
+		t.Fatalf("SuspectedCount = %d, want 1", c)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			addr := fmt.Sprintf("p%d", g%3)
+			for i := 0; i < 200; i++ {
+				tr.Observe(addr, time.Duration(i)*time.Microsecond, i%7 != 0)
+				tr.Suspicion(addr)
+				tr.FactorMilli(addr)
+				tr.HedgeAfter(addr, time.Millisecond, time.Second)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

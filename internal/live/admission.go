@@ -205,22 +205,34 @@ func (n *Node) noteProviderLoad(addr string, load uint32) {
 // capacity. Providers never heard from (or heard from too long ago) rank
 // equal with idle ones, so new providers still get traffic. The sort is
 // stable: the coordinator's own rotation survives among equals.
+//
+// Health multiplies the effective load (gray-failure defense): a peer's
+// suspicion score scales its load factor up (FactorMilli: 1000 = neutral,
+// one error's worth of suspicion doubles it), so a degraded provider
+// sinks toward the back of the order without ever being excluded — when
+// every provider is degraded, fetches still have somewhere to go. With
+// all peers neutral the ordering is exactly the pre-health one.
 func (n *Node) orderProvidersByLoad(provs []wire.Entry) []wire.Entry {
 	if len(provs) < 2 {
 		return provs
 	}
 	now := time.Now()
-	loads := make([]uint32, len(provs))
+	loads := make([]uint64, len(provs))
 	n.provLoadMu.Lock()
 	for i, pr := range provs {
 		if rec, ok := n.provLoad[pr.Addr]; ok && now.Sub(rec.at) < provLoadTTL {
-			loads[i] = rec.loadMilli
+			loads[i] = uint64(rec.loadMilli)
 		}
 	}
 	n.provLoadMu.Unlock()
+	for i, pr := range provs {
+		// +1 so an idle (load 0) suspected peer still ranks behind an idle
+		// healthy one.
+		loads[i] = (loads[i] + 1) * uint64(n.health.FactorMilli(pr.Addr))
+	}
 	type pair struct {
 		e wire.Entry
-		l uint32
+		l uint64
 	}
 	pairs := make([]pair, len(provs))
 	for i := range provs {
@@ -245,7 +257,9 @@ const cohortSpreadMilli = 300
 // unsaturated one exists, the answer is drawn round-robin from the
 // low-load cohort, and backfilled with the next-least-loaded candidates.
 // When every provider is saturated the least-loaded ones are returned
-// anyway — a degraded answer beats an empty one. Caller holds n.mu.
+// anyway — a degraded answer beats an empty one. When more providers are
+// registered than the answer carries, the last slot is an exploration
+// pick from outside the chosen set (see below). Caller holds n.mu.
 func (e *indexEntry) selectLocked(max int) []wire.Entry {
 	if len(e.providers) == 0 || max <= 0 {
 		return nil
@@ -276,13 +290,52 @@ func (e *indexEntry) selectLocked(max int) []wire.Entry {
 			break
 		}
 	}
-	out := make([]wire.Entry, 0, max)
-	start := e.rr % len(cohort)
-	for i := 0; i < len(cohort) && len(out) < max; i++ {
-		out = append(out, e.providers[cohort[(start+i)%len(cohort)]].ent)
+	// Exploration slot (gray-failure defense): a peer that accepts work but
+	// never finishes it keeps honestly advertising itself idle, so a few
+	// such zombies can capture the entire low-load cohort — and with it
+	// every answer, starving viewers of reachable providers no matter how
+	// many are registered. When the index knows more providers than the
+	// answer carries, the last slot is therefore rotated across the
+	// *unchosen* remainder instead of drawn from the cohort, so no cohort
+	// can permanently capture an answer.
+	fill := max
+	explore := max >= 2 && len(cand) > max
+	if explore {
+		fill = max - 1
 	}
-	for i := len(cohort); i < len(cand) && len(out) < max; i++ {
+	out := make([]wire.Entry, 0, max)
+	picked := make(map[int]bool, fill)
+	start := e.rr % len(cohort)
+	for i := 0; i < len(cohort) && len(out) < fill; i++ {
+		ci := cohort[(start+i)%len(cohort)]
+		out = append(out, e.providers[ci].ent)
+		picked[ci] = true
+	}
+	for i := len(cohort); i < len(cand) && len(out) < fill; i++ {
 		out = append(out, e.providers[cand[i]].ent)
+		picked[cand[i]] = true
+	}
+	if explore {
+		// Prefer exploring outside the cohort — that is where a reachable
+		// provider a stale-idle cohort is hiding will be — falling back to
+		// unchosen cohort members when the cohort is the whole candidate set.
+		remOut := make([]int, 0, len(cand))
+		remIn := make([]int, 0, len(cohort))
+		for i, ci := range cand {
+			if picked[ci] {
+				continue
+			}
+			if i < len(cohort) {
+				remIn = append(remIn, ci)
+			} else {
+				remOut = append(remOut, ci)
+			}
+		}
+		rem := remOut
+		if len(rem) == 0 {
+			rem = remIn
+		}
+		out = append(out, e.providers[rem[e.rr%len(rem)]].ent)
 	}
 	e.rr++
 	return out

@@ -1,0 +1,220 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// grayTrio builds three unstarted nodes on one fabric behind a shared fault
+// injector: a viewer and two providers both holding chunk seq. Nothing is
+// joined or started — fetchOnce is driven with explicit addresses, which is
+// exactly how FetchChunk uses it after provider selection.
+func grayTrio(t *testing.T, cfg Config, seq int64) (viewer, primary, backup *Node, in *faulty.Injector) {
+	t.Helper()
+	f := transport.NewFabric()
+	in = faulty.NewInjector(20260808)
+	mk := func() *Node {
+		n, err := NewNode(cfg, faultyAttach(f, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	viewer, primary, backup = mk(), mk(), mk()
+	data := MakeChunkPayload(cfg.Channel, seq)
+	primary.storeChunk(seq, data)
+	backup.storeChunk(seq, data)
+	return viewer, primary, backup, in
+}
+
+// TestHedgeRescuesStalledPrimary is the gray-failure headline: the primary
+// provider accepts the connection and then stalls mid-request — no error,
+// no data, the failure a breaker cannot see. The hedge must fire after the
+// (stranger-conservative) HedgeMaxDelay, win from the backup, and return
+// the chunk in a fraction of the stall timeout.
+func TestHedgeRescuesStalledPrimary(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.Hedge = true
+	cfg.HedgeMinDelay = 20 * time.Millisecond
+	cfg.HedgeMaxDelay = 80 * time.Millisecond
+	viewer, primary, backup, in := grayTrio(t, cfg, 5)
+	in.SetStalled(primary.Addr(), true)
+
+	start := time.Now()
+	resp, from, err := viewer.fetchOnce(5, primary.Addr(), backup.Addr(), time.Time{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged fetch failed: %v", err)
+	}
+	cr, ok := resp.(*wire.ChunkResp)
+	if !ok || !cr.OK {
+		t.Fatalf("hedged fetch returned %T (ok=%v)", resp, ok)
+	}
+	if from != backup.Addr() {
+		t.Fatalf("winning response credited to %s, want backup %s", from, backup.Addr())
+	}
+	if !VerifyChunkPayload(cfg.Channel, 5, cr.Data) {
+		t.Fatal("hedge-won chunk failed verification")
+	}
+	// The whole point: the viewer did not wait out the primary's stall.
+	if elapsed > time.Second {
+		t.Fatalf("hedged fetch took %v; the stall leaked into the fetch path", elapsed)
+	}
+	st := viewer.Stats()
+	if st.HedgesLaunched != 1 {
+		t.Fatalf("HedgesLaunched = %d, want 1", st.HedgesLaunched)
+	}
+	if st.HedgeWins != 1 {
+		t.Fatalf("HedgeWins = %d, want 1", st.HedgeWins)
+	}
+	if st.HedgesCancelled != 1 {
+		t.Fatalf("HedgesCancelled = %d, want 1 (primary leg still in flight)", st.HedgesCancelled)
+	}
+}
+
+// TestHedgeQuietOnFastPrimary: a healthy primary answering inside its
+// latency estimate must never trigger a hedge — hedging is a tail-latency
+// defense, not a default double-send.
+func TestHedgeQuietOnFastPrimary(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.Hedge = true
+	viewer, primary, backup, _ := grayTrio(t, cfg, 7)
+
+	resp, from, err := viewer.fetchOnce(7, primary.Addr(), backup.Addr(), time.Time{})
+	if err != nil {
+		t.Fatalf("fetch from healthy primary failed: %v", err)
+	}
+	if cr, ok := resp.(*wire.ChunkResp); !ok || !cr.OK {
+		t.Fatalf("fetch returned %T", resp)
+	}
+	if from != primary.Addr() {
+		t.Fatalf("response credited to %s, want primary %s", from, primary.Addr())
+	}
+	if st := viewer.Stats(); st.HedgesLaunched != 0 {
+		t.Fatalf("HedgesLaunched = %d on a fast primary, want 0", st.HedgesLaunched)
+	}
+}
+
+// TestHedgeDisabledWaitsOutStall pins the opt-out: with Hedge off the fetch
+// is single-flight and eats the stall, exactly the pre-hedging behavior the
+// graychaos scenario contrasts against.
+func TestHedgeDisabledWaitsOutStall(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.Hedge = false
+	cfg.CallTimeout = 600 * time.Millisecond
+	viewer, primary, backup, in := grayTrio(t, cfg, 9)
+	in.SetStalled(primary.Addr(), true)
+
+	start := time.Now()
+	_, from, err := viewer.fetchOnce(9, primary.Addr(), backup.Addr(), time.Time{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch from a stalled primary succeeded without a hedge")
+	}
+	if from != primary.Addr() {
+		t.Fatalf("failure credited to %s, want primary %s", from, primary.Addr())
+	}
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("single-flight fetch returned in %v; stall was not actually waited out", elapsed)
+	}
+	if st := viewer.Stats(); st.HedgesLaunched != 0 {
+		t.Fatalf("HedgesLaunched = %d with hedging disabled, want 0", st.HedgesLaunched)
+	}
+}
+
+// TestGetChunkDeadlineShed pins deadline propagation on the serve path: a
+// GetChunk whose propagated DeadlineMs budget cannot cover the pacer's
+// projected wait is shed immediately and counted as a deadline shed — while
+// the same backlog with only a WaitMs patience sheds without the deadline
+// attribution.
+func TestGetChunkDeadlineShed(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.UpBps = 8 * 1024 // 1 KiB/s drain: one 1 KiB chunk ≈ 1s of budget
+	cfg.AdmitBurst = 512 // half a chunk of burst → every serve projects a wait
+	cfg.AdmitMaxWait = time.Second
+	n := soloNode(t, cfg)
+	data := MakeChunkPayload(cfg.Channel, 3)
+	n.storeChunk(3, data)
+
+	// Deadline-bound: 100ms of budget against a ~500ms projected wait.
+	resp := n.onGetChunk(&wire.GetChunk{Seq: 3, DeadlineMs: 100})
+	cr, ok := resp.(*wire.ChunkResp)
+	if !ok || !cr.Busy {
+		t.Fatalf("deadline-starved GetChunk returned %T (busy=%v), want Busy nack", resp, ok && cr.Busy)
+	}
+	if cr.RetryAfterMs == 0 {
+		t.Fatal("Busy nack carried no RetryAfterMs hint")
+	}
+	if got := n.Stats().DeadlineSheds; got != 1 {
+		t.Fatalf("DeadlineSheds = %d, want 1", got)
+	}
+
+	// Same starvation expressed as plain WaitMs patience: still shed, but
+	// not attributed to the deadline.
+	resp = n.onGetChunk(&wire.GetChunk{Seq: 3, WaitMs: 100})
+	if cr, ok = resp.(*wire.ChunkResp); !ok || !cr.Busy {
+		t.Fatalf("patience-starved GetChunk returned %T, want Busy nack", resp)
+	}
+	if got := n.Stats().DeadlineSheds; got != 1 {
+		t.Fatalf("DeadlineSheds = %d after a non-deadline shed, want still 1", got)
+	}
+}
+
+// TestOrderProvidersHealthAware pins the selection bias: with equal load
+// reports, a suspected provider sinks to the back of the order but is never
+// dropped; with every peer neutral the order is exactly the input order
+// (the pre-health property existing tests rely on).
+func TestOrderProvidersHealthAware(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	provs := []wire.Entry{
+		{ID: 1, Addr: "p:a"},
+		{ID: 2, Addr: "p:b"},
+		{ID: 3, Addr: "p:c"},
+	}
+	// All neutral: stable, order preserved.
+	got := n.orderProvidersByLoad(provs)
+	for i := range provs {
+		if got[i].Addr != provs[i].Addr {
+			t.Fatalf("neutral ordering changed: %v", got)
+		}
+	}
+	// p:b accumulates errors (conclusive failures bump suspicion hardest).
+	for i := 0; i < 3; i++ {
+		n.health.Observe("p:b", 50*time.Millisecond, false)
+	}
+	got = n.orderProvidersByLoad(provs)
+	if len(got) != 3 {
+		t.Fatalf("provider dropped from order: %v", got)
+	}
+	if got[2].Addr != "p:b" {
+		t.Fatalf("suspected provider not deprioritized: %v", got)
+	}
+	if got[0].Addr != "p:a" || got[1].Addr != "p:c" {
+		t.Fatalf("healthy providers reordered: %v", got)
+	}
+}
+
+// TestLookupRespectsDeadlineBudget pins deadline propagation on the lookup
+// path: a coordinator holding a pending lookup releases it when the
+// requester's DeadlineMs budget — not the larger MaxWait — runs out.
+func TestLookupRespectsDeadlineBudget(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	key := uint64(n.cfg.Channel.Ref(11).ID())
+	start := time.Now()
+	resp := n.onLookup(&wire.Lookup{Key: key, Seq: 11, MaxWait: 5000, DeadlineMs: 120})
+	elapsed := time.Since(start)
+	if _, ok := resp.(*wire.LookupResp); !ok {
+		t.Fatalf("lookup returned %T", resp)
+	}
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("lookup returned after %v, before its 120ms deadline budget", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("lookup held %v; DeadlineMs did not clamp the 5s MaxWait", elapsed)
+	}
+}

@@ -41,6 +41,16 @@ type liveMetrics struct {
 	busyNacks         *telemetry.Counter
 	busyNacksHintless *telemetry.Counter
 
+	// Gray-failure defense (streamer.go hedging + protocol.go deadline
+	// sheds): hedges launched past the primary's latency estimate, hedges
+	// whose duplicate answered first, losers left in flight after a win,
+	// and serves shed because the requester's propagated deadline could no
+	// longer be met.
+	hedgesLaunched  *telemetry.Counter
+	hedgeWins       *telemetry.Counter
+	hedgesCancelled *telemetry.Counter
+	deadlineSheds   *telemetry.Counter
+
 	lookupFailovers      *telemetry.Counter
 	providersBlacklisted *telemetry.Counter
 	rpcRetries           *telemetry.Counter
@@ -120,6 +130,11 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		chunksAbandoned:   reg.Counter("dco_live_chunks_abandoned_total"),
 		busyNacks:         reg.Counter("dco_live_busy_nacks_total"),
 		busyNacksHintless: reg.Counter("dco_live_busy_nacks_hintless_total"),
+
+		hedgesLaunched:  reg.Counter("dco_live_hedges_launched_total"),
+		hedgeWins:       reg.Counter("dco_live_hedge_wins_total"),
+		hedgesCancelled: reg.Counter("dco_live_hedges_cancelled_total"),
+		deadlineSheds:   reg.Counter("dco_live_deadline_sheds_total"),
 
 		lookupFailovers:      reg.Counter("dco_live_lookup_failovers_total"),
 		providersBlacklisted: reg.Counter("dco_live_providers_blacklisted_total"),
@@ -208,6 +223,9 @@ func (n *Node) registerGauges() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		return float64(len(n.blacklist))
+	})
+	reg.GaugeFunc("dco_live_suspected_peers", func() float64 {
+		return float64(n.health.SuspectedCount())
 	})
 	reg.GaugeFunc("dco_live_replica_owners", func() float64 {
 		owners, _ := n.ReplicaCounts()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dco/internal/dht"
+	"dco/internal/health"
 	"dco/internal/retry"
 	"dco/internal/stream"
 	"dco/internal/telemetry"
@@ -181,6 +182,38 @@ type Config struct {
 	// blacklist.
 	ProviderCooldown time.Duration
 
+	// Hedge enables hedged chunk fetches (gray-failure defense): when a
+	// GetChunk to the chosen provider runs past the peer's p95-ish latency
+	// estimate, one duplicate request is launched at the next-best
+	// provider and the first response wins. Off by default so explicitly
+	// constructed configs keep their exact pre-hedging call pattern;
+	// DefaultNodeConfig turns it on.
+	Hedge bool
+
+	// HedgeMinDelay / HedgeMaxDelay clamp the hedge trigger delay derived
+	// from the primary provider's latency EWMA. Peers with no latency
+	// history hedge at HedgeMaxDelay (conservative against strangers).
+	// 0 derives 20ms / 300ms.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+
+	// HealthHalfLife is the decay half-life of peer suspicion scores
+	// (internal/health): how fast a degraded peer ages back to neutral
+	// with no fresh evidence. 0 derives 5s.
+	HealthHalfLife time.Duration
+
+	// HealthSuspect is the suspicion score at which a peer counts as
+	// suspected and is deprioritized in provider/coordinator selection
+	// (one conclusive error contributes 1.0). 0 derives 3.
+	HealthSuspect float64
+
+	// IOReadTimeout / IOWriteTimeout override the transport's server-side
+	// per-exchange read deadline and reply write deadline when the
+	// transport supports it (transport.TCP does). Zero keeps the
+	// transport's defaults (2m read / 30s write).
+	IOReadTimeout  time.Duration
+	IOWriteTimeout time.Duration
+
 	// JoinAttempts is how many rounds JoinAny makes over the bootstrap
 	// list before giving up.
 	JoinAttempts int
@@ -229,6 +262,9 @@ func DefaultNodeConfig() Config {
 		Retry:              retry.DefaultPolicy(),
 		Breaker:            retry.DefaultBreakerConfig(),
 		ProviderCooldown:   2 * time.Second,
+		Hedge:              true,
+		HedgeMinDelay:      20 * time.Millisecond,
+		HedgeMaxDelay:      300 * time.Millisecond,
 		JoinAttempts:       3,
 	}
 }
@@ -249,6 +285,11 @@ type Node struct {
 	republishCursor uint64
 	retrier         *retry.Retrier
 	blacklist       map[string]time.Time // failing providers, cooling down
+
+	// health scores every peer this node calls (internal/health), fed by
+	// the transport observer hook: latency EWMAs drive hedge trigger
+	// delays, suspicion scores deprioritize degraded peers in selection.
+	health *health.Tracker
 
 	// pace is the upload admission pacer enforcing UpBps on the chunk
 	// serve path (admission.go). Always non-nil; unlimited when UpBps <= 0.
@@ -313,6 +354,12 @@ type Stats struct {
 	BreakerOpens         uint64 // circuit transitions to open
 	LookupFailovers      uint64 // lookups answered past a dead coordinator
 	ProvidersBlacklisted uint64 // providers put on fetch cooldown
+	// Gray-failure defense counters.
+	HedgesLaunched  uint64 // duplicate fetches launched past the primary's latency estimate
+	HedgeWins       uint64 // hedges whose duplicate answered first
+	HedgesCancelled uint64 // hedge losers left in flight after a win
+	DeadlineSheds   uint64 // serves shed because the propagated deadline could not be met
+	SuspectedPeers  uint64 // peers currently at or above the suspicion threshold
 	// Replication-layer counters.
 	ReplicaOpsApplied uint64 // replicated index ops folded in from owners
 	IndexTakeovers    uint64 // dead-owner replica slices promoted to owned state
@@ -469,6 +516,26 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	}
 	n.tr = tr
 	n.self = dht.Member{ID: dht.IDOf(tr.Addr()), Addr: tr.Addr()}
+	n.health = health.NewTracker(health.Config{
+		HalfLife:         cfg.HealthHalfLife,
+		SuspectThreshold: cfg.HealthSuspect,
+	})
+	// Feed health scoring from the transport's per-call observer hook when
+	// the transport (or its fault-injecting decorator) offers one. The
+	// observer reports application-level rejections with err == nil — a
+	// peer that answered, even with a nack, is alive.
+	if os, ok := tr.(transport.ObserverSetter); ok {
+		os.SetObserver(func(addr string, rtt time.Duration, err error) {
+			n.health.Observe(addr, rtt, err == nil)
+		})
+	}
+	if cfg.IOReadTimeout > 0 || cfg.IOWriteTimeout > 0 {
+		if io, ok := tr.(interface {
+			SetIOTimeouts(read, write time.Duration)
+		}); ok {
+			io.SetIOTimeouts(cfg.IOReadTimeout, cfg.IOWriteTimeout)
+		}
+	}
 	n.members = dht.NewMemberCache(n.self.Addr, cfg.MemberCacheSize)
 	seed := cfg.RetrySeed
 	if seed == 0 {
@@ -523,6 +590,11 @@ func (n *Node) Stats() Stats {
 		BreakerOpens:         n.retrier.Breaker().Opens(),
 		LookupFailovers:      n.lm.lookupFailovers.Value(),
 		ProvidersBlacklisted: n.lm.providersBlacklisted.Value(),
+		HedgesLaunched:       n.lm.hedgesLaunched.Value(),
+		HedgeWins:            n.lm.hedgeWins.Value(),
+		HedgesCancelled:      n.lm.hedgesCancelled.Value(),
+		DeadlineSheds:        n.lm.deadlineSheds.Value(),
+		SuspectedPeers:       uint64(n.health.SuspectedCount()),
 		ReplicaOpsApplied:    n.lm.replicaOpsApplied.Value(),
 		IndexTakeovers:       n.lm.takeovers.Value(),
 		DigestRepairs:        n.lm.digestRepairOps.Value(),
@@ -754,7 +826,15 @@ var rpcClassify = retry.Classify{
 // probe failures accumulate into the conclusive evidence that finally
 // purges the peer.
 func (n *Node) call(addr string, req wire.Message) (wire.Message, error) {
-	resp, err := n.tr.Call(addr, req, n.cfg.CallTimeout)
+	return n.callTimeout(addr, req, n.cfg.CallTimeout)
+}
+
+// callTimeout is call with an explicit per-call timeout — the deadline
+// propagation seam: fetch paths derive the timeout from the chunk's
+// remaining playback horizon instead of always paying the full
+// CallTimeout against a stalled peer.
+func (n *Node) callTimeout(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	resp, err := n.tr.Call(addr, req, timeout)
 	br := n.retrier.Breaker()
 	if err == nil {
 		br.Success(addr)
@@ -769,6 +849,50 @@ func (n *Node) call(addr string, req wire.Message) (wire.Message, error) {
 	return resp, err
 }
 
+// deadlineTimeout derives a per-call transport timeout from the remaining
+// playback horizon: CallTimeout when no deadline applies, otherwise the
+// remaining budget clamped to [minDeadlineTimeout, CallTimeout]. The floor
+// keeps a nearly expired fetch from dialing with a timeout too small to
+// ever succeed — the fetch loop's own deadline check abandons it instead.
+func (n *Node) deadlineTimeout(deadline time.Time) time.Duration {
+	t := n.cfg.CallTimeout
+	if deadline.IsZero() {
+		return t
+	}
+	r := time.Until(deadline)
+	if t <= 0 || r < t {
+		t = r
+	}
+	if t < minDeadlineTimeout {
+		t = minDeadlineTimeout
+	}
+	return t
+}
+
+// minDeadlineTimeout floors deadline-derived call timeouts.
+const minDeadlineTimeout = 50 * time.Millisecond
+
+// deadlineMs converts the remaining playback horizon into the wire's
+// relative DeadlineMs budget (0 = unbounded, like TTLMillis the receiver
+// restamps against its own clock).
+func deadlineMs(deadline time.Time) uint32 {
+	if deadline.IsZero() {
+		return 0
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return 1 // expired in flight: minimal budget, server sheds immediately
+	}
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	return uint32(ms)
+}
+
 // callIdem performs a retried RPC for idempotent requests (every DCO
 // request except the maintenance probes is idempotent by construction:
 // inserts dedupe by address, lookups and fetches are reads, notify and
@@ -776,10 +900,16 @@ func (n *Node) call(addr string, req wire.Message) (wire.Message, error) {
 // backoff; a per-address circuit breaker fails fast once the peer looks
 // dead, and only the final failure purges it from the routing tables.
 func (n *Node) callIdem(addr string, req wire.Message) (wire.Message, error) {
+	return n.callIdemTimeout(addr, req, n.cfg.CallTimeout)
+}
+
+// callIdemTimeout is callIdem with an explicit per-attempt timeout (the
+// deadline-propagation seam for retried RPCs).
+func (n *Node) callIdemTimeout(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
 	var resp wire.Message
 	err := n.retrier.Do(n.closed, addr, rpcClassify, func() error {
 		var cerr error
-		resp, cerr = n.tr.Call(addr, req, n.cfg.CallTimeout)
+		resp, cerr = n.tr.Call(addr, req, timeout)
 		return cerr
 	})
 	if err != nil {

@@ -235,6 +235,42 @@ func TestSelectCohortRotation(t *testing.T) {
 	}
 }
 
+// TestSelectExplorationEscapesIdleCohort: when stale-idle providers (the
+// gray-failure zombie shape: accept work, never finish it, keep honestly
+// advertising load 0) fill the low-load cohort, the answer's last slot
+// must still rotate across the rest of the registered set — otherwise
+// three zombies capture every answer forever.
+func TestSelectExplorationEscapesIdleCohort(t *testing.T) {
+	e := &indexEntry{wake: make(chan struct{})}
+	e.providers = []provRec{
+		{ent: wire.Entry{Addr: "zombie:1"}},
+		{ent: wire.Entry{Addr: "zombie:2"}},
+		{ent: wire.Entry{Addr: "zombie:3"}},
+		{ent: wire.Entry{Addr: "healthy:1"}, loadMilli: 800},
+		{ent: wire.Entry{Addr: "healthy:2"}, loadMilli: 800},
+	}
+	seenHealthy := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		got := e.selectLocked(3)
+		if len(got) != 3 {
+			t.Fatalf("selected %d providers, want 3: %v", len(got), got)
+		}
+		for _, pr := range got[:2] {
+			if pr.Addr == "healthy:1" || pr.Addr == "healthy:2" {
+				t.Fatalf("cohort slots leaked outside the idle cohort: %v", got)
+			}
+		}
+		a := got[2].Addr
+		if a != "healthy:1" && a != "healthy:2" {
+			t.Fatalf("exploration slot stayed inside the idle cohort: %v", got)
+		}
+		seenHealthy[a] = true
+	}
+	if len(seenHealthy) != 2 {
+		t.Fatalf("4 answers explored %d distinct loaded providers, want both", len(seenHealthy))
+	}
+}
+
 // TestFetchDeadlineAbandons: with a playback horizon configured, a fetch
 // for a chunk nobody can provide gives up at the horizon (counted, so the
 // worker rejoins the live edge) instead of retrying forever.
@@ -262,7 +298,7 @@ func TestFetchDeadlineAbandons(t *testing.T) {
 func TestSleepBusyAbortsOnClose(t *testing.T) {
 	n := soloNode(t, fastConfig(false))
 	done := make(chan bool, 1)
-	go func() { done <- n.sleepBusy(60_000, time.Time{}) }()
+	go func() { done <- n.sleepBusy("peer:1", 60_000, time.Time{}) }()
 	time.Sleep(20 * time.Millisecond)
 	n.Close()
 	select {

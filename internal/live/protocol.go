@@ -49,9 +49,16 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 }
 
 // onLookup serves the coordinator role: answer with providers, waiting up
-// to MaxWait for the first registration (the paper's pending queue).
+// to MaxWait for the first registration (the paper's pending queue). The
+// requester's propagated DeadlineMs budget clamps the hold — parking a
+// lookup past the caller's deadline only produces an answer nobody is
+// waiting for, while occupying a pending-queue slot.
 func (n *Node) onLookup(m *wire.Lookup) wire.Message {
-	deadline := time.Now().Add(time.Duration(m.MaxWait) * time.Millisecond)
+	waitMs := m.MaxWait
+	if m.DeadlineMs > 0 && m.DeadlineMs < waitMs {
+		waitMs = m.DeadlineMs
+	}
+	deadline := time.Now().Add(time.Duration(waitMs) * time.Millisecond)
 	for {
 		n.mu.Lock()
 		if !n.kern.Owns(m.Key) {
@@ -158,16 +165,30 @@ func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
 	}
 	// The requester declares its patience; zero (old clients, direct
 	// callers) means "the server's default". Clamp to AdmitMaxWait so a
-	// serve never sleeps past what the caller's RPC timeout can survive.
+	// serve never sleeps past what the caller's RPC timeout can survive,
+	// and to the propagated per-call deadline budget so the provider sheds
+	// work whose reply could not arrive in time anyway.
 	patience := n.cfg.AdmitMaxWait
 	if m.WaitMs > 0 {
 		if p := time.Duration(m.WaitMs) * time.Millisecond; p < patience {
 			patience = p
 		}
 	}
+	deadlineBound := false
+	if m.DeadlineMs > 0 {
+		if p := time.Duration(m.DeadlineMs) * time.Millisecond; p < patience {
+			patience = p
+			deadlineBound = true
+		}
+	}
 	wait, retry, admitted := n.pace.admit(len(data), patience)
 	if !admitted {
 		n.lm.busyRejections.Inc()
+		if deadlineBound {
+			// The deadline budget was the binding constraint: this serve was
+			// shed specifically because the answer could not arrive in time.
+			n.lm.deadlineSheds.Inc()
+		}
 		n.traceEvent("chunk.shed", fmt.Sprintf("seq=%d retry=%s", m.Seq, retry))
 		return &wire.ChunkResp{
 			Seq:          m.Seq,

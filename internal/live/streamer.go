@@ -1,7 +1,9 @@
 package live
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"dco/internal/wire"
@@ -203,8 +205,10 @@ func (n *Node) FetchChunk(seq int64) error {
 			continue
 		}
 		// Prefer the least-loaded provider among the coordinator's answer,
-		// by the freshest load factor heard on previous ChunkResps.
-		for _, pr := range n.orderProvidersByLoad(providers) {
+		// by the freshest load factor heard on previous ChunkResps (scaled
+		// by health suspicion, so degraded providers sink in the order).
+		ordered := n.orderProvidersByLoad(providers)
+		for pi, pr := range ordered {
 			if pr.Addr == n.Addr() {
 				continue
 			}
@@ -216,21 +220,33 @@ func (n *Node) FetchChunk(seq int64) error {
 			if pastDeadline(deadline) {
 				return n.abandonChunk(seq, lastErr)
 			}
-			resp, err := n.call(pr.Addr, &wire.GetChunk{Seq: seq, WaitMs: n.fetchPatienceMs(deadline)})
+			// The hedge target is the next-best usable provider in the
+			// order — the peer this fetch would have failed over to anyway.
+			backup := ""
+			for _, alt := range ordered[pi+1:] {
+				if alt.Addr != n.Addr() && alt.Addr != pr.Addr && n.providerUsable(alt.Addr) {
+					backup = alt.Addr
+					break
+				}
+			}
+			resp, from, err := n.fetchOnce(seq, pr.Addr, backup, deadline)
 			if err != nil {
+				if errors.Is(err, errNodeClosed) {
+					return fmt.Errorf("live: node closed (last error: %v)", lastErr)
+				}
 				// Single-shot by design: a failing provider is blacklisted
 				// for ProviderCooldown and the fetch moves to the next
 				// provider rather than retrying the same one.
 				lastErr = err
-				n.traceEvent("chunk.timeout", seqDetail(seq)+" peer="+pr.Addr)
-				n.blacklistProvider(pr.Addr)
+				n.traceEvent("chunk.timeout", seqDetail(seq)+" peer="+from)
+				n.blacklistProvider(from)
 				continue
 			}
 			cr, ok := resp.(*wire.ChunkResp)
 			if !ok {
 				continue
 			}
-			n.noteProviderLoad(pr.Addr, cr.LoadMilli)
+			n.noteProviderLoad(from, cr.LoadMilli)
 			if !cr.OK {
 				if cr.Busy {
 					// Busy is an admission nack from a live provider: honor
@@ -240,25 +256,128 @@ func (n *Node) FetchChunk(seq int64) error {
 					if cr.RetryAfterMs == 0 {
 						n.lm.busyNacksHintless.Inc()
 					}
-					if !n.sleepBusy(cr.RetryAfterMs, deadline) {
-						return fmt.Errorf("live: node closed (provider %s busy)", pr.Addr)
+					if !n.sleepBusy(from, cr.RetryAfterMs, deadline) {
+						return fmt.Errorf("live: node closed (provider %s busy)", from)
 					}
 				}
 				continue
 			}
 			if !VerifyChunkPayload(n.cfg.Channel, seq, cr.Data) {
 				lastErr = fmt.Errorf("live: chunk %d failed verification", seq)
-				n.blacklistProvider(pr.Addr)
+				n.blacklistProvider(from)
 				continue
 			}
 			n.storeChunk(seq, cr.Data)
 			n.registerChunk(seq)
 			n.lm.chunkFetchSeconds.Observe(time.Since(start).Seconds())
-			n.traceEvent("chunk.fetch", seqDetail(seq)+" peer="+pr.Addr)
+			n.traceEvent("chunk.fetch", seqDetail(seq)+" peer="+from)
 			return nil
 		}
 		n.bumpRetry()
 	}
+}
+
+// errNodeClosed aborts a fetch when the node shuts down mid-request.
+var errNodeClosed = errors.New("live: node closed")
+
+// getChunkOnce issues one GetChunk carrying the viewer's declared patience
+// and its remaining playback-horizon budget, under a deadline-derived
+// transport timeout (with slack past the declared patience, so a serve
+// legitimately queued behind the pacer is not cut off mid-wait).
+func (n *Node) getChunkOnce(addr string, seq int64, deadline time.Time) (wire.Message, error) {
+	req := &wire.GetChunk{Seq: seq, WaitMs: n.fetchPatienceMs(deadline), DeadlineMs: deadlineMs(deadline)}
+	timeout := n.deadlineTimeout(deadline)
+	if t := time.Duration(req.WaitMs)*time.Millisecond + 250*time.Millisecond; timeout < t {
+		timeout = t
+	}
+	if ct := n.cfg.CallTimeout; ct > 0 && timeout > ct {
+		timeout = ct
+	}
+	return n.callTimeout(addr, req, timeout)
+}
+
+// fetchOnce fetches seq from primary, hedging to backup (when hedging is
+// on and a distinct usable provider exists): if the primary has not
+// answered within its health-derived p95-ish latency estimate (clamped to
+// [HedgeMinDelay, HedgeMaxDelay]), one duplicate request is launched at
+// backup and the first response wins. An in-flight RPC cannot be
+// cancelled, so the loser delivers into a buffered channel and is
+// discarded — counted as cancelled, never leaked. Returns the winning
+// response and the address it came from (the address to credit, nack-sleep
+// against, or blacklist).
+func (n *Node) fetchOnce(seq int64, primary, backup string, deadline time.Time) (resp wire.Message, from string, err error) {
+	if !n.cfg.Hedge || backup == "" {
+		resp, err = n.getChunkOnce(primary, seq, deadline)
+		return resp, primary, err
+	}
+	minD, maxD := n.hedgeDelays()
+	type result struct {
+		resp wire.Message
+		err  error
+		addr string
+	}
+	ch := make(chan result, 2)
+	go func() {
+		r, e := n.getChunkOnce(primary, seq, deadline)
+		ch <- result{r, e, primary}
+	}()
+	t := time.NewTimer(n.health.HedgeAfter(primary, minD, maxD))
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		// The common path: the primary answered (or failed conclusively)
+		// inside its latency estimate. No hedge was ever launched.
+		return r.resp, r.addr, r.err
+	case <-n.closed:
+		return nil, primary, errNodeClosed
+	case <-t.C:
+	}
+	// The primary ran past its estimate — the gray-failure signature.
+	n.lm.hedgesLaunched.Inc()
+	n.traceEvent("chunk.hedge", seqDetail(seq)+" primary="+primary+" hedge="+backup)
+	go func() {
+		r, e := n.getChunkOnce(backup, seq, deadline)
+		ch <- result{r, e, backup}
+	}()
+	var lastErr error
+	lastAddr := primary
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				if r.addr == backup {
+					n.lm.hedgeWins.Inc()
+				}
+				if i == 0 {
+					// The other request is still in flight; it finishes into
+					// the buffered channel and is discarded.
+					n.lm.hedgesCancelled.Inc()
+				}
+				return r.resp, r.addr, nil
+			}
+			lastErr, lastAddr = r.err, r.addr
+		case <-n.closed:
+			return nil, primary, errNodeClosed
+		}
+	}
+	// Both legs failed; each already fed the breaker and health tracker.
+	return nil, lastAddr, lastErr
+}
+
+// hedgeDelays returns the configured hedge-trigger clamps with defaults
+// derived.
+func (n *Node) hedgeDelays() (min, max time.Duration) {
+	min, max = n.cfg.HedgeMinDelay, n.cfg.HedgeMaxDelay
+	if min <= 0 {
+		min = 20 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 300 * time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
 }
 
 // pastDeadline reports whether the playback horizon d has passed (zero d =
@@ -298,14 +417,28 @@ func (n *Node) fetchPatienceMs(deadline time.Time) uint32 {
 const maxBusySleep = time.Second
 
 // sleepBusy honors a Busy nack's RetryAfterMs hint with +/-25% seeded
-// jitter (decorrelating viewers that were shed together), falling back to
-// a 50ms pause when the provider sent no hint. The sleep never extends
-// past the playback horizon and aborts when the node closes (returns
-// false) — a closing node must never sit out a backoff.
-func (n *Node) sleepBusy(retryAfterMs uint32, deadline time.Time) bool {
-	d := 50 * time.Millisecond
+// jitter (decorrelating viewers that were shed together). A hintless Busy
+// (should not happen with this repo's providers, but old or foreign ones
+// may send them) backs off health-aware: a few of the provider's own
+// round-trips, clamped — so a slow peer is not hammered on a cadence
+// tuned for a fast one — with a 75ms default against strangers. The sleep
+// never extends past the playback horizon and aborts when the node closes
+// (returns false) — a closing node must never sit out a backoff.
+func (n *Node) sleepBusy(addr string, retryAfterMs uint32, deadline time.Time) bool {
+	var d time.Duration
 	if retryAfterMs > 0 {
 		d = time.Duration(retryAfterMs) * time.Millisecond
+	} else {
+		d = 75 * time.Millisecond
+		if ewma, ok := n.health.ExpectedLatency(addr); ok {
+			d = 4 * ewma
+			if d < 20*time.Millisecond {
+				d = 20 * time.Millisecond
+			}
+			if d > 250*time.Millisecond {
+				d = 250 * time.Millisecond
+			}
+		}
 	}
 	if d > maxBusySleep {
 		d = maxBusySleep
@@ -379,6 +512,15 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 		}
 	}
 	req := &wire.Lookup{Key: key, Seq: seq, MaxWait: uint32(maxWait / time.Millisecond)}
+	// Transport timeout: deadline-derived, but always with slack past the
+	// coordinator's legitimate pending-queue hold, capped at CallTimeout.
+	timeout := n.deadlineTimeout(deadline)
+	if t := maxWait + 250*time.Millisecond; timeout < t {
+		timeout = t
+	}
+	if ct := n.cfg.CallTimeout; ct > 0 && timeout > ct {
+		timeout = ct
+	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
@@ -400,6 +542,15 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 		for _, f := range fallbacks {
 			candidates = append(candidates, f.Wire())
 		}
+		// The owner must stay first — it is the one node whose answer is
+		// authoritative — but the failover order among its successors is
+		// ours to choose: least-suspected first, so a failover lands on a
+		// healthy coordinator instead of the next degraded one.
+		if rest := candidates[1:]; len(rest) > 1 {
+			sort.SliceStable(rest, func(a, b int) bool {
+				return n.health.Suspicion(rest[a].Addr) < n.health.Suspicion(rest[b].Addr)
+			})
+		}
 		tried := make(map[string]bool, len(candidates))
 		reroute := false
 		for ci := 0; ci < len(candidates) && !reroute; ci++ {
@@ -408,11 +559,14 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 				continue
 			}
 			tried[c.Addr] = true
+			// Restamp the relative deadline budget at each send (the TTL
+			// convention: absolute times never cross the wire).
+			req.DeadlineMs = deadlineMs(deadline)
 			var resp wire.Message
 			if c.Addr == n.Addr() {
 				resp = n.onLookup(req)
 			} else {
-				resp, err = n.callIdem(c.Addr, req)
+				resp, err = n.callIdemTimeout(c.Addr, req, timeout)
 				if err != nil {
 					if wire.IsNotOwner(err) {
 						// Ownership moved under us: routing is stale.
@@ -432,6 +586,13 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 				lastErr = errUnexpected(resp)
 				continue
 			}
+			if len(lr.Providers) == 0 && c.Addr == n.Addr() {
+				if ps := n.emptySecondOpinion(candidates[ci+1:], key, seq, deadline, timeout); len(ps) > 0 {
+					n.lm.lookupSeconds.Observe(time.Since(start).Seconds())
+					n.noteMembers(ps...)
+					return ps, nil
+				}
+			}
 			if ci > 0 {
 				n.lm.lookupFailovers.Inc()
 				n.traceEvent("lookup.failover", seqDetail(seq)+" coordinator="+c.Addr)
@@ -447,6 +608,34 @@ func (n *Node) lookupProviders(key uint64, seq int64, deadline time.Time) ([]wir
 	n.lm.lookupFailures.Inc()
 	n.traceEvent("lookup.fail", seqDetail(seq))
 	return nil, lastErr
+}
+
+// emptySecondOpinion double-checks an empty answer from this node's own
+// index against one fallback coordinator (gray-failure defense). A node
+// cut off by an asymmetric partition still believes it owns its old arc —
+// its outbound calls keep working, so it never notices the ring reassigned
+// the range — while every registration for those keys lands at its
+// successor. Trusting the local empty would starve exactly the chunks this
+// node used to own. The probe does not park (MaxWait 0): when the local
+// empty is genuine (the live edge), the fallback answers with a fast
+// not-the-owner rejection and the empty stands, costing one round-trip.
+func (n *Node) emptySecondOpinion(fallbacks []wire.Entry, key uint64, seq int64, deadline time.Time, timeout time.Duration) []wire.Entry {
+	for _, c := range fallbacks {
+		if c.Addr == "" || c.Addr == n.Addr() {
+			continue
+		}
+		probe := &wire.Lookup{Key: key, Seq: seq, DeadlineMs: deadlineMs(deadline)}
+		resp, err := n.callIdemTimeout(c.Addr, probe, timeout)
+		if err != nil {
+			return nil
+		}
+		if lr, ok := resp.(*wire.LookupResp); ok && len(lr.Providers) > 0 {
+			n.traceEvent("lookup.secondopinion", seqDetail(seq)+" coordinator="+c.Addr)
+			return lr.Providers
+		}
+		return nil
+	}
+	return nil
 }
 
 func (n *Node) storeChunk(seq int64, data []byte) {

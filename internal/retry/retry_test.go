@@ -2,6 +2,8 @@ package retry
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -206,5 +208,92 @@ func TestDoFailsFastWhenOpen(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatal("open circuit still let the op run")
+	}
+}
+
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	b.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	b.Failure("x")
+	if b.Allow("x") {
+		t.Fatal("circuit should be open")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+
+	// A stampede of callers races for the half-open slot: exactly one
+	// probe is admitted, every loser is rejected deterministically (no
+	// queueing, no second probe).
+	const racers = 32
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow("x") {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// While the probe is outstanding, later callers keep losing.
+	if b.Allow("x") {
+		t.Fatal("second probe admitted while the first is outstanding")
+	}
+
+	// Probe failure re-opens: everyone is rejected until the next cooldown.
+	b.Failure("x")
+	var rejected int
+	for i := 0; i < racers; i++ {
+		if !b.Allow("x") {
+			rejected++
+		}
+	}
+	if rejected != racers {
+		t.Fatalf("re-opened circuit admitted %d callers, want 0", racers-rejected)
+	}
+
+	// Next cooldown: again exactly one winner, and its success closes the
+	// circuit for everyone.
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	admitted.Store(0)
+	start = make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow("x") {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("second half-open round admitted %d probes, want exactly 1", got)
+	}
+	b.Success("x")
+	for i := 0; i < racers; i++ {
+		if !b.Allow("x") {
+			t.Fatal("closed circuit rejected a caller")
+		}
 	}
 }

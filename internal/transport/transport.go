@@ -37,8 +37,53 @@ type Transport interface {
 	Close() error
 }
 
+// Observer receives one observation per outbound call attempt: the
+// destination, the attempt's round-trip wall time, and its error (nil on
+// success). This is the seam peer-health scoring hangs off — unlike
+// Metrics it carries the address, so per-peer latency EWMAs and suspicion
+// scores can be maintained. Implementations must be fast and non-blocking;
+// they run on the calling goroutine.
+type Observer func(addr string, rtt time.Duration, err error)
+
+// ObserverSetter is implemented by transports that can host an Observer.
+// All transports in this package (and the fault-injecting decorator in
+// internal/faulty) implement it.
+type ObserverSetter interface {
+	SetObserver(Observer)
+}
+
 // ErrClosed reports use of a closed transport.
 var ErrClosed = errors.New("transport: closed")
+
+// Server-side I/O timeout defaults (see SetIOTimeouts): the idle bound a
+// connection may sit between exchanges before its goroutine is reclaimed,
+// and the bound on writing one reply.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+
+	// Floors and ceilings for SetIOTimeouts: a timeout below the floor
+	// would cut off legitimate slow exchanges mid-frame; one above the
+	// ceiling lets dead peers pin goroutines for too long to matter.
+	MinIOTimeout = 250 * time.Millisecond
+	MaxIOTimeout = 10 * time.Minute
+)
+
+// clampIOTimeout applies the floor/ceiling rule shared by both transports:
+// zero (or negative) restores def, anything else clamps into
+// [MinIOTimeout, MaxIOTimeout].
+func clampIOTimeout(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	if d < MinIOTimeout {
+		return MinIOTimeout
+	}
+	if d > MaxIOTimeout {
+		return MaxIOTimeout
+	}
+	return d
+}
 
 // ---------------------------------------------------------------------------
 // TCP transport: one short-lived framed exchange per call, with a small
@@ -56,6 +101,17 @@ type TCP struct {
 
 	// metrics, when set, meters every frame and call (telemetry).
 	metrics atomic.Pointer[Metrics]
+
+	// observer, when set, receives one (addr, rtt, err) per outbound call
+	// attempt (health scoring).
+	observer atomic.Pointer[Observer]
+
+	// Server-side I/O deadlines (ns): the per-exchange read deadline that
+	// keeps dead peers from pinning serve goroutines, and the reply write
+	// deadline. Defaults DefaultReadTimeout / DefaultWriteTimeout;
+	// adjustable via SetIOTimeouts within [MinIOTimeout, MaxIOTimeout].
+	readTimeout  atomic.Int64
+	writeTimeout atomic.Int64
 
 	mu     sync.Mutex
 	pools  map[string][]net.Conn
@@ -75,6 +131,8 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 	}
 	t := &TCP{ln: ln, handler: h, pools: make(map[string][]net.Conn), active: make(map[net.Conn]bool)}
 	t.maxFrame.Store(wire.MaxFrame)
+	t.readTimeout.Store(int64(DefaultReadTimeout))
+	t.writeTimeout.Store(int64(DefaultWriteTimeout))
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -97,6 +155,25 @@ func (t *TCP) SetMaxFrameSize(n uint32) {
 // concurrently with traffic; frames in flight during the switch may be
 // attributed to either set.
 func (t *TCP) SetMetrics(m *Metrics) { t.metrics.Store(m) }
+
+// SetObserver attaches (or detaches, with nil) a per-call observer. Safe
+// to call concurrently with traffic.
+func (t *TCP) SetObserver(o Observer) {
+	if o == nil {
+		t.observer.Store(nil)
+		return
+	}
+	t.observer.Store(&o)
+}
+
+// SetIOTimeouts adjusts the server-side per-exchange read deadline and
+// the reply write deadline. Zero restores a default; nonzero values clamp
+// into [MinIOTimeout, MaxIOTimeout]. Safe to call concurrently with
+// traffic; exchanges in flight keep their already-armed deadlines.
+func (t *TCP) SetIOTimeouts(read, write time.Duration) {
+	t.readTimeout.Store(int64(clampIOTimeout(read, DefaultReadTimeout)))
+	t.writeTimeout.Store(int64(clampIOTimeout(write, DefaultWriteTimeout)))
+}
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -129,8 +206,8 @@ func (t *TCP) serveConn(conn net.Conn) {
 	remote := conn.RemoteAddr().String()
 	for {
 		// A generous per-exchange deadline keeps dead peers from pinning
-		// goroutines forever.
-		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		// goroutines forever (configurable via SetIOTimeouts).
+		_ = conn.SetReadDeadline(time.Now().Add(time.Duration(t.readTimeout.Load())))
 		req, nIn, err := wire.ReadMessageLimitN(conn, t.maxFrame.Load())
 		m := t.metrics.Load()
 		if err != nil {
@@ -141,7 +218,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		if resp == nil {
 			resp = &wire.Ack{}
 		}
-		_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Duration(t.writeTimeout.Load())))
 		nOut, err := wire.WriteMessageN(conn, resp)
 		m.noteOut(resp.Kind(), nOut)
 		if err != nil {
@@ -162,6 +239,7 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 	conn, pooled, err := t.getConn(addr, timeout)
 	if err != nil {
 		t.metrics.Load().noteCall(start, err)
+		t.observe(addr, start, err)
 		return nil, err
 	}
 	resp, err := t.exchange(conn, req, deadline)
@@ -172,12 +250,14 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 		conn.Close()
 		fresh, _, err2 := t.dial(addr, time.Until(deadline))
 		if err2 != nil {
+			t.observe(addr, start, err2)
 			return nil, err2
 		}
 		conn = fresh
 		resp, err = t.exchange(conn, req, deadline)
 	}
 	t.metrics.Load().noteCall(start, err)
+	t.observe(addr, start, err)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -187,6 +267,13 @@ func (t *TCP) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 		return nil, e
 	}
 	return resp, nil
+}
+
+// observe feeds the attached Observer, if any.
+func (t *TCP) observe(addr string, start time.Time, err error) {
+	if o := t.observer.Load(); o != nil {
+		(*o)(addr, time.Since(start), err)
+	}
 }
 
 func (t *TCP) exchange(conn net.Conn, req wire.Message, deadline time.Time) (wire.Message, error) {
@@ -284,17 +371,28 @@ func NewFabric() *Fabric { return &Fabric{nodes: make(map[string]*Mem)} }
 
 // Mem is one endpoint on a Fabric.
 type Mem struct {
-	fabric  *Fabric
-	addr    string
-	handler Handler
-	metrics atomic.Pointer[Metrics]
-	closed  bool
-	mu      sync.Mutex
+	fabric   *Fabric
+	addr     string
+	handler  Handler
+	metrics  atomic.Pointer[Metrics]
+	observer atomic.Pointer[Observer]
+	closed   bool
+	mu       sync.Mutex
 }
 
 // SetMetrics attaches (or detaches, with nil) a metric set, mirroring
 // (*TCP).SetMetrics so tests meter the same way production does.
 func (m *Mem) SetMetrics(ms *Metrics) { m.metrics.Store(ms) }
+
+// SetObserver attaches (or detaches, with nil) a per-call observer,
+// mirroring (*TCP).SetObserver.
+func (m *Mem) SetObserver(o Observer) {
+	if o == nil {
+		m.observer.Store(nil)
+		return
+	}
+	m.observer.Store(&o)
+}
 
 // Attach registers a new endpoint serving h.
 func (f *Fabric) Attach(h Handler) *Mem {
@@ -315,7 +413,23 @@ func (m *Mem) Call(addr string, req wire.Message, timeout time.Duration) (wire.M
 	mm := m.metrics.Load()
 	resp, err := m.call(addr, req, mm)
 	mm.noteCall(start, err)
+	m.observe(addr, start, err)
 	return resp, err
+}
+
+// observe feeds the attached Observer, if any. An application-level
+// *wire.Error counts as an answered call (the TCP observer never sees
+// those as transport errors either).
+func (m *Mem) observe(addr string, start time.Time, err error) {
+	o := m.observer.Load()
+	if o == nil {
+		return
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		err = nil
+	}
+	(*o)(addr, time.Since(start), err)
 }
 
 func (m *Mem) call(addr string, req wire.Message, mm *Metrics) (wire.Message, error) {

@@ -285,3 +285,126 @@ func TestFabricUsesWireEncoding(t *testing.T) {
 		t.Fatal("oversized message crossed the fabric")
 	}
 }
+
+func TestTCPObserverSeesCalls(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+	cli, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer cli.Close()
+
+	type obs struct {
+		addr string
+		rtt  time.Duration
+		err  error
+	}
+	var mu sync.Mutex
+	var seen []obs
+	cli.SetObserver(func(addr string, rtt time.Duration, err error) {
+		mu.Lock()
+		seen = append(seen, obs{addr, rtt, err})
+		mu.Unlock()
+	})
+
+	if _, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A call to a dead address must be observed with a non-nil error.
+	dead, _ := net.Listen("tcp", "127.0.0.1:0")
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	cli.Call(deadAddr, &wire.Ping{}, 200*time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d calls, want 2", len(seen))
+	}
+	if seen[0].addr != srv.Addr() || seen[0].err != nil || seen[0].rtt <= 0 {
+		t.Fatalf("good call observed as %+v", seen[0])
+	}
+	if seen[1].addr != deadAddr || seen[1].err == nil {
+		t.Fatalf("dead call observed as %+v", seen[1])
+	}
+}
+
+func TestMemObserverTreatsWireErrorAsAnswered(t *testing.T) {
+	f := NewFabric()
+	srv := f.Attach(HandlerFunc(func(from string, req wire.Message) wire.Message {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "nope"}
+	}))
+	defer srv.Close()
+	cli := f.Attach(HandlerFunc(echoHandler))
+	defer cli.Close()
+
+	var mu sync.Mutex
+	var errs []error
+	cli.SetObserver(func(addr string, rtt time.Duration, err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	})
+
+	if _, err := cli.Call(srv.Addr(), &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("expected the wire.Error to surface to the caller")
+	}
+	dead := f.Attach(HandlerFunc(echoHandler))
+	dead.Close()
+	if _, err := cli.Call(dead.Addr(), &wire.Ping{}, time.Second); err == nil {
+		t.Fatal("expected a dead endpoint to fail")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 2 {
+		t.Fatalf("observer saw %d calls, want 2", len(errs))
+	}
+	if errs[0] != nil {
+		t.Fatalf("wire.Error reply should observe as answered (nil), got %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("dead endpoint should observe as an error")
+	}
+}
+
+func TestTCPSetIOTimeoutsClamps(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+
+	srv.SetIOTimeouts(0, 0)
+	if got := time.Duration(srv.readTimeout.Load()); got != DefaultReadTimeout {
+		t.Fatalf("zero read timeout = %v, want default %v", got, DefaultReadTimeout)
+	}
+	if got := time.Duration(srv.writeTimeout.Load()); got != DefaultWriteTimeout {
+		t.Fatalf("zero write timeout = %v, want default %v", got, DefaultWriteTimeout)
+	}
+	srv.SetIOTimeouts(time.Nanosecond, time.Hour)
+	if got := time.Duration(srv.readTimeout.Load()); got != MinIOTimeout {
+		t.Fatalf("tiny read timeout = %v, want floor %v", got, MinIOTimeout)
+	}
+	if got := time.Duration(srv.writeTimeout.Load()); got != MaxIOTimeout {
+		t.Fatalf("huge write timeout = %v, want ceiling %v", got, MaxIOTimeout)
+	}
+}
+
+func TestTCPReadTimeoutReclaimsIdleConn(t *testing.T) {
+	srv, _ := ListenTCP("127.0.0.1:0", HandlerFunc(echoHandler))
+	defer srv.Close()
+	srv.SetIOTimeouts(MinIOTimeout, 0)
+
+	// Dial raw and send nothing: the serve goroutine must give up and
+	// close the connection after the (shortened) read deadline.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close the idle connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("idle connection lingered %v, want ~%v", elapsed, MinIOTimeout)
+	}
+}

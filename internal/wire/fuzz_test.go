@@ -19,9 +19,11 @@ func FuzzReadMessage(f *testing.F) {
 		&GetState{}, &GetStateResp{Pred: e, PredOK: true, Succs: []Entry{e}},
 		&Notify{From: e}, &Ack{},
 		&Lookup{Key: 2, Seq: 3, MaxWait: 4},
+		&Lookup{Key: 2, Seq: 3, MaxWait: 4, DeadlineMs: 1200},
 		&LookupResp{Seq: 3, Providers: []Entry{e}},
 		&Insert{Key: 5, Seq: 6, Holder: e, UpBps: 7, BufCount: 8, LoadMilli: 900},
 		&GetChunk{Seq: 9, WaitMs: 150},
+		&GetChunk{Seq: 9, WaitMs: 150, DeadlineMs: 800},
 		&ChunkResp{Seq: 10, OK: true, LoadMilli: 330, Data: []byte{1, 2}},
 		&ChunkResp{Seq: 11, Busy: true, RetryAfterMs: 60, LoadMilli: 1500},
 		&Handoff{Entries: []HandoffEntry{{Key: 1, Seq: 2, Providers: []Entry{e}}}},

@@ -160,11 +160,17 @@ type Ack struct{}
 
 // Lookup asks the chunk's coordinator for providers. MaxWait is how long
 // the coordinator may hold the request waiting for a provider to register
-// (the paper's pending queue), in milliseconds.
+// (the paper's pending queue), in milliseconds. DeadlineMs is the
+// requester's remaining per-call budget at send time (0 = unbounded, old
+// clients); like TTLMillis it is relative, restamped by each sender, so
+// absolute clocks never cross the wire. A coordinator clamps its pending
+// wait by it — holding past the caller's deadline only produces an answer
+// nobody is waiting for.
 type Lookup struct {
-	Key     uint64
-	Seq     int64
-	MaxWait uint32
+	Key        uint64
+	Seq        int64
+	MaxWait    uint32
+	DeadlineMs uint32
 }
 
 // LookupResp lists providers (possibly empty when MaxWait elapsed).
@@ -192,10 +198,14 @@ type Insert struct {
 // GetChunk requests chunk data from a provider. WaitMs is how long the
 // requester is willing to be queued behind the provider's upload pacer
 // before it would rather take a Busy nack and try elsewhere (0 = serve
-// immediately or shed).
+// immediately or shed). DeadlineMs is the requester's remaining per-call
+// budget at send time (0 = unbounded), a relative duration like TTLMillis;
+// a provider sheds work that cannot arrive in time instead of paying
+// upload budget for a reply the caller has already abandoned.
 type GetChunk struct {
-	Seq    int64
-	WaitMs uint32
+	Seq        int64
+	WaitMs     uint32
+	DeadlineMs uint32
 }
 
 // ChunkResp returns chunk data; OK=false means the provider lacks it (or
@@ -652,12 +662,14 @@ func (m *Lookup) Kind() Kind { return KindLookup }
 func (m *Lookup) encode(b []byte) []byte {
 	b = putU64(b, m.Key)
 	b = putI64(b, m.Seq)
-	return putU32(b, m.MaxWait)
+	b = putU32(b, m.MaxWait)
+	return putU32(b, m.DeadlineMs)
 }
 func (m *Lookup) decode(r *reader) error {
 	m.Key = r.u64()
 	m.Seq = r.i64()
 	m.MaxWait = r.u32()
+	m.DeadlineMs = r.u32()
 	return r.err
 }
 
@@ -696,11 +708,13 @@ func (m *Insert) decode(r *reader) error {
 func (m *GetChunk) Kind() Kind { return KindGetChunk }
 func (m *GetChunk) encode(b []byte) []byte {
 	b = putI64(b, m.Seq)
-	return putU32(b, m.WaitMs)
+	b = putU32(b, m.WaitMs)
+	return putU32(b, m.DeadlineMs)
 }
 func (m *GetChunk) decode(r *reader) error {
 	m.Seq = r.i64()
 	m.WaitMs = r.u32()
+	m.DeadlineMs = r.u32()
 	return r.err
 }
 

@@ -38,12 +38,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Notify{From: e1},
 		&Ack{},
 		&Lookup{Key: 7, Seq: -3, MaxWait: 1500},
+		&Lookup{Key: 7, Seq: -3, MaxWait: 1500, DeadlineMs: 2500},
 		&LookupResp{Seq: 9, Providers: []Entry{e1, e2}},
 		&LookupResp{Seq: 9},
 		&Insert{Key: 1, Seq: 2, Holder: e1, UpBps: 600000, BufCount: 10, Unregister: true},
 		&Insert{Key: 1, Seq: 2, Holder: e2, UpBps: 600000, BufCount: 10, LoadMilli: 850},
 		&GetChunk{Seq: 123456789},
 		&GetChunk{Seq: 3, WaitMs: 250},
+		&GetChunk{Seq: 4, WaitMs: 250, DeadlineMs: 900},
 		&ChunkResp{Seq: 5, OK: true, Data: []byte{1, 2, 3}},
 		&ChunkResp{Seq: 5, OK: true, LoadMilli: 420, Data: []byte{9}},
 		&ChunkResp{Seq: 5, Busy: true},
@@ -242,7 +244,7 @@ func TestReadMessageLimit(t *testing.T) {
 		t.Fatalf("limit 0 (= MaxFrame) rejected: %v", err)
 	}
 	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
-	if _, err := ReadMessageLimit(bytes.NewReader(hdr), 1 << 30); err != ErrFrameTooLarge {
+	if _, err := ReadMessageLimit(bytes.NewReader(hdr), 1<<30); err != ErrFrameTooLarge {
 		t.Fatalf("forged huge prefix accepted: %v", err)
 	}
 }
