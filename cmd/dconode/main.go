@@ -96,6 +96,14 @@ func main() {
 		censusProbes = flag.Int("census-probes", 2, "cached members probed per census round")
 		memberCache  = flag.Int("member-cache", 128, "bounded cache of previously-seen ring members feeding the census")
 
+		// Pollution defense (see DESIGN.md, "Threat model & pollution
+		// defense").
+		manifestWindow      = flag.Int("manifest-window", 0, "verified chunk-manifest rows kept in memory (0 = default 4096)")
+		integrityQuarantine = flag.Float64("integrity-quarantine", 0, "integrity demerits that quarantine a peer; <0 disables quarantine (0 = default 3)")
+		quarantineTTL       = flag.Duration("quarantine-ttl", 0, "how long a quarantined peer stays excluded (0 = default 30s)")
+		insertRate          = flag.Float64("insert-rate", 0, "index registrations accepted per second per holder, burst 2x; <0 disables (0 = default 200)")
+		insertHorizon       = flag.Int("insert-horizon", 0, "chunks past the verified live edge an index registration may claim; <0 disables (0 = default 1024)")
+
 		// Fault injection (testing/chaos drills; off by default).
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		faultDrop     = flag.Float64("fault-drop", 0, "probability a call is dropped (0 disables)")
@@ -150,6 +158,21 @@ func main() {
 	cfg.CensusEvery = *censusEvery
 	cfg.CensusProbes = *censusProbes
 	cfg.MemberCacheSize = *memberCache
+	if *manifestWindow != 0 {
+		cfg.ManifestWindow = *manifestWindow
+	}
+	if *integrityQuarantine != 0 {
+		cfg.QuarantineThreshold = *integrityQuarantine
+	}
+	if *quarantineTTL != 0 {
+		cfg.QuarantineTTL = *quarantineTTL
+	}
+	if *insertRate != 0 {
+		cfg.InsertRate = *insertRate
+	}
+	if *insertHorizon != 0 {
+		cfg.InsertHorizon = *insertHorizon
+	}
 
 	// One registry + trace per process: the node, the transport and the
 	// exposition server all share it.
@@ -268,12 +291,13 @@ func main() {
 			if *verbosity >= 1 {
 				st := node.Stats()
 				_, succ := node.Successor()
-				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d shed=%d paced=%d abandoned=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d hedges=%d/%d suspected=%d succ=%s\n",
+				fmt.Printf("buffered=%d fetched=%d served=%d retries=%d shed=%d paced=%d abandoned=%d rpcretries=%d opens=%d failovers=%d blacklisted=%d replops=%d takeovers=%d hedges=%d/%d suspected=%d badchunks=%d quarantined=%d/%d ratelimited=%d succ=%s\n",
 					node.ChunkCount(), st.ChunksFetched, st.ChunksServed,
 					st.FetchRetries, st.ChunksShedBusy, st.PacedServes, st.ChunksAbandoned,
 					st.CallRetries, st.BreakerOpens, st.LookupFailovers, st.ProvidersBlacklisted,
 					st.ReplicaOpsApplied, st.IndexTakeovers, st.HedgeWins, st.HedgesLaunched,
-					st.SuspectedPeers, succ)
+					st.SuspectedPeers, st.IntegrityRejects, st.QuarantinedPeers, st.PeersQuarantined,
+					st.InsertsRateLimited, succ)
 			}
 			if *chunks > 0 && !*source && int64(node.ChunkCount()) >= *chunks {
 				fmt.Println("stream complete; leaving")

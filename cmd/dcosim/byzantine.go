@@ -1,0 +1,385 @@
+package main
+
+// The "byzantine" method is the pollution soak: the real node stack on
+// both DHT backends with 25% of the swarm adversarial — persistent chunk
+// poisoners, every-3rd poisoners, a lying load reporter, and an active
+// index spammer flooding coordinators with bogus registrations. The run
+// is judged on the pollution-defense invariants: honest viewers still
+// deliver (≥95%), not one polluted chunk is accepted into any buffer
+// (the choke point is absolute), every poisoner ends up quarantined by
+// the honest swarm, and the index hardening visibly fired (integrity
+// rejects, rate-limited inserts). This is what BENCH_PR10.json is
+// generated from.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/live"
+	"dco/internal/telemetry"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// byzRunResult is one backend column. Field names are stable —
+// BENCH_PR10.json and CI trend checks parse them.
+type byzRunResult struct {
+	Backend                string  `json:"backend"`
+	WallSeconds            float64 `json:"wall_seconds"`
+	DeliveredPercentHonest float64 `json:"delivered_percent_honest"` // min over honest viewers
+
+	Fetches  uint64  `json:"fetches"`
+	FetchP50 float64 `json:"fetch_p50_seconds"`
+	FetchP95 float64 `json:"fetch_p95_seconds"`
+	FetchP99 float64 `json:"fetch_p99_seconds"`
+
+	IntegrityRejects   uint64   `json:"integrity_rejects"`
+	PollutedAccepted   int      `json:"polluted_accepted"` // sum of VerifyBuffered over every node
+	PeersQuarantined   uint64   `json:"peers_quarantined"`
+	PoisonersCaught    int      `json:"poisoners_caught"` // poisoners in some honest node's quarantine log
+	PoisonersTotal     int      `json:"poisoners_total"`
+	QuarantinedUnion   []string `json:"quarantined_union"`
+	InsertsRateLimited uint64   `json:"inserts_rate_limited"`
+	InsertsRejected    uint64   `json:"inserts_rejected"`
+	PollutionReports   uint64   `json:"pollution_reports"`
+	LoadReportsClamped uint64   `json:"load_reports_clamped"`
+	ManifestFetches    uint64   `json:"manifest_fetches"`
+	WedgedWorkers      int      `json:"wedged_workers"`
+	Injected           uint64   `json:"injected"`
+}
+
+// byzantineResult is the -json schema of a byzantine run.
+type byzantineResult struct {
+	Method      string         `json:"method"`
+	N           int            `json:"n"`
+	Adversarial int            `json:"adversarial"`
+	Chunks      int64          `json:"chunks"`
+	Seed        int64          `json:"seed"`
+	Runs        []byzRunResult `json:"runs"`
+}
+
+// runByzantineRun executes the shared scenario on one backend.
+func runByzantineRun(backend string, n int, chunks, seed int64) byzRunResult {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dcosim: byzantine(%s): %s\n", backend, fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+
+	cfg := live.DefaultNodeConfig()
+	cfg.DHT = backend
+	cfg.Channel.Period = 60 * time.Millisecond
+	cfg.Channel.ChunkBits = 8 * 1024
+	cfg.Channel.Count = chunks
+	cfg.StabilizeEvery = 20 * time.Millisecond
+	cfg.FixFingersEvery = 10 * time.Millisecond
+	cfg.LookupWait = 250 * time.Millisecond
+	cfg.CallTimeout = 2 * time.Second
+	cfg.RepublishEvery = 500 * time.Millisecond
+	cfg.Replicas = 2
+	cfg.ReplicateEvery = 25 * time.Millisecond
+	cfg.AntiEntropyEvery = 250 * time.Millisecond
+	cfg.FetchDeadlineChunks = 200
+	// Pollution-defense knobs: a modest insert rate is still far above
+	// honest republish traffic per coordinator, and the provider cap
+	// backstops entry growth while leaving room for the whole swarm — a
+	// tight cap would let the early-registrant elite crowd everyone else
+	// (the adversaries included) out of the serve rotation entirely.
+	cfg.MaxProvidersPerSeq = 32
+	cfg.InsertRate = 50
+	// Constrain upload so the source cannot serve the swarm alone (at the
+	// default budget it can, and the adversarial providers never see a
+	// request). ~15 chunk serves per period per node forces real
+	// peer-to-peer serving — the regime pollution defense exists for.
+	cfg.UpBps = 2_000_000
+
+	f := transport.NewFabric()
+	in := faulty.NewInjector(uint64(seed))
+	regs := make([]*telemetry.Registry, 0, n)
+	mkNode := func(c live.Config) *live.Node {
+		reg := telemetry.NewRegistry()
+		c.Telemetry = reg
+		nd, err := live.NewNode(c, func(h transport.Handler) (transport.Transport, error) {
+			m := f.Attach(h)
+			m.SetMetrics(transport.NewMetrics(reg))
+			return in.Wrap(m), nil
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		regs = append(regs, reg)
+		return nd
+	}
+
+	srcCfg := cfg
+	srcCfg.Source = true
+	src := mkNode(srcCfg)
+	viewers := make([]*live.Node, 0, n-1)
+	for i := 1; i < n; i++ {
+		viewers = append(viewers, mkNode(cfg))
+	}
+	all := append([]*live.Node{src}, viewers...)
+
+	// The adversarial cohort: 25% of n. Five byzantine node roles on the
+	// first viewers in arrival order (deterministic), plus one active index
+	// spammer that is a bare fabric endpoint, not a node. The source stays
+	// honest — it is the only origin of chunks, and a poisoning source
+	// tests chunk scarcity, not pollution defense.
+	if len(viewers) < 8 {
+		fail("n=%d too small for the byzantine cohort", n)
+	}
+	persistent := []*live.Node{viewers[0], viewers[1]}
+	everyK := []*live.Node{viewers[2], viewers[3]}
+	liar := viewers[4]
+	poisoners := append(append([]*live.Node{}, persistent...), everyK...)
+	for _, p := range persistent {
+		in.SetPoisoner(p.Addr(), 1)
+	}
+	for _, p := range everyK {
+		in.SetPoisoner(p.Addr(), 3)
+	}
+	in.SetLoadLiar(liar.Addr(), true)
+	adversarial := map[string]bool{liar.Addr(): true}
+	for _, p := range poisoners {
+		adversarial[p.Addr()] = true
+	}
+	honest := make([]*live.Node, 0, len(viewers))
+	for _, v := range viewers {
+		if !adversarial[v.Addr()] {
+			honest = append(honest, v)
+		}
+	}
+
+	src.Start()
+	start := time.Now()
+	var joinWG sync.WaitGroup
+	joinErr := make(chan error, len(viewers))
+	for _, nd := range viewers {
+		joinWG.Add(1)
+		go func(nd *live.Node) {
+			defer joinWG.Done()
+			if err := nd.Join(src.Addr()); err != nil {
+				joinErr <- err
+			}
+		}(nd)
+	}
+	joinWG.Wait()
+	select {
+	case err := <-joinErr:
+		fail("join: %v", err)
+	default:
+	}
+	for _, nd := range viewers {
+		nd.Start()
+	}
+
+	// The index spammer: a bare endpoint flooding bogus registrations for
+	// live and future seqs at every node (non-owners nack them; the owner
+	// pays the rate-limit check). One fake holder identity keeps all the
+	// spam inside one token bucket per coordinator, concentrated enough to
+	// blow through the per-holder rate on the owners of popular keys.
+	spamTr := f.Attach(transport.HandlerFunc(func(string, wire.Message) wire.Message {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "spammer serves nothing"}
+	}))
+	targets := make([]string, 0, len(all))
+	for _, nd := range all {
+		targets = append(targets, nd.Addr())
+	}
+	stopSpam := make(chan struct{})
+	spamDone := make(chan struct{})
+	go func() {
+		defer close(spamDone)
+		faulty.SpamInserts(stopSpam, spamTr, faulty.SpamConfig{
+			Targets:  targets,
+			KeyFor:   func(seq int64) uint64 { return uint64(cfg.Channel.Ref(seq).ID()) },
+			Seqs:     func(i int) int64 { return int64(i) % (2 * chunks) },
+			Holders:  []wire.Entry{{ID: 0xE1, Addr: "byz-spam:1"}},
+			Interval: 5 * time.Millisecond,
+			Burst:    8,
+		})
+	}()
+
+	// Run until every viewer has resolved every chunk — fetched or (past
+	// its playback horizon) abandoned. Adversarial viewers resolve too:
+	// their inbound path is clean, only what they serve is bent.
+	streamDeadline := time.Now().Add(3 * time.Minute)
+	for {
+		done := true
+		for _, v := range viewers {
+			if int64(v.ChunkCount())+int64(v.Stats().ChunksAbandoned) < chunks {
+				done = false
+				break
+			}
+		}
+		if done || time.Now().After(streamDeadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wall := time.Since(start)
+	close(stopSpam)
+	<-spamDone
+
+	res := byzRunResult{Backend: backend, WallSeconds: wall.Seconds(), PoisonersTotal: len(poisoners)}
+	res.DeliveredPercentHonest = 100
+	for _, v := range honest {
+		p := 100 * float64(v.ChunkCount()) / float64(chunks)
+		if p < res.DeliveredPercentHonest {
+			res.DeliveredPercentHonest = p
+		}
+	}
+	// The absolute gate: nothing polluted in any buffer, anywhere — the
+	// adversarial nodes' own buffers included (they fetch clean bytes; the
+	// injector bends only what they serve).
+	for _, nd := range all {
+		res.PollutedAccepted += nd.VerifyBuffered()
+	}
+	for _, v := range honest {
+		st := v.Stats()
+		res.IntegrityRejects += st.IntegrityRejects
+		res.LoadReportsClamped += st.LoadReportsClamped
+		res.ManifestFetches += st.ManifestFetches
+	}
+	// Coordinator-side state lives wherever the key (or report rendezvous)
+	// owner is — sum over everyone, the quarantine union included: the
+	// adversarial nodes run unmodified coordinator code (the injector only
+	// bends what they serve), so their quarantine verdicts are the honest
+	// defense working, not the adversary's word.
+	quarUnion := map[string]bool{}
+	for _, nd := range all {
+		st := nd.Stats()
+		res.PeersQuarantined += st.PeersQuarantined
+		res.InsertsRateLimited += st.InsertsRateLimited
+		res.InsertsRejected += st.InsertsRejected
+		res.PollutionReports += st.PollutionReportsSeen
+		for _, a := range nd.EverQuarantined() {
+			quarUnion[a] = true
+		}
+	}
+	for a := range quarUnion {
+		res.QuarantinedUnion = append(res.QuarantinedUnion, a)
+	}
+	sort.Strings(res.QuarantinedUnion)
+	for _, p := range poisoners {
+		if quarUnion[p.Addr()] {
+			res.PoisonersCaught++
+		}
+	}
+	res.Injected = in.Injected()
+	// Per-poisoner exposure: how many poisoned serves each actually landed
+	// and on how many distinct victims — the raw material for quarantine.
+	// PoisonStats, not History: the soak's call volume floods the bounded
+	// history log with Pass records, evicting early Poisoned entries.
+	stats := in.PoisonStats()
+	for _, p := range poisoners {
+		total := 0
+		for _, k := range stats[p.Addr()] {
+			total += k
+		}
+		fmt.Printf("  poisoner %s: %d poisoned serves to %d distinct victims (quarantined=%v)\n",
+			p.Addr(), total, len(stats[p.Addr()]), quarUnion[p.Addr()])
+	}
+
+	var bounds []float64
+	var counts []uint64
+	for _, reg := range regs {
+		snap := reg.Snapshot()
+		h, ok := snap.Histograms["dco_live_chunk_fetch_seconds"]
+		if !ok {
+			continue
+		}
+		if bounds == nil {
+			bounds = h.Bounds
+			counts = make([]uint64, len(h.Counts))
+		}
+		for i, c := range h.Counts {
+			counts[i] += c
+		}
+		res.Fetches += h.Count
+	}
+	if res.Fetches > 0 {
+		res.FetchP50 = histQuantileInterp(bounds, counts, res.Fetches, 0.50)
+		res.FetchP95 = histQuantileInterp(bounds, counts, res.Fetches, 0.95)
+		res.FetchP99 = histQuantileInterp(bounds, counts, res.Fetches, 0.99)
+	}
+
+	res.WedgedWorkers = closeAllWatched(all, 15*time.Second)
+	return res
+}
+
+// runByzantine executes the pollution soak on both backends and exits the
+// process.
+func runByzantine(n int, chunks, seed int64, jsonOut string) {
+	if n < 24 {
+		fmt.Printf("byzantine: raising n=%d to the scenario floor of 24\n", n)
+		n = 24
+	}
+	res := byzantineResult{Method: "byzantine", N: n, Adversarial: 6, Chunks: chunks, Seed: seed}
+	for _, backend := range []string{"chord", "kademlia"} {
+		fmt.Printf("--- backend=%s n=%d chunks=%d (2 persistent poisoners, 2 every-3rd poisoners, 1 load liar, 1 index spammer)\n",
+			backend, n, chunks)
+		r := runByzantineRun(backend, n, chunks, seed)
+		fmt.Printf("wall time:                %v\n", time.Duration(r.WallSeconds*float64(time.Second)).Round(time.Millisecond))
+		fmt.Printf("delivered (min honest):   %.2f%%\n", r.DeliveredPercentHonest)
+		fmt.Printf("fetches:                  %d (p50=%.3fs p95=%.3fs p99=%.3fs)\n", r.Fetches, r.FetchP50, r.FetchP95, r.FetchP99)
+		fmt.Printf("integrity rejects:        %d  polluted accepted: %d\n", r.IntegrityRejects, r.PollutedAccepted)
+		fmt.Printf("poisoners quarantined:    %d/%d (union %v)\n", r.PoisonersCaught, r.PoisonersTotal, r.QuarantinedUnion)
+		fmt.Printf("inserts rate-limited:     %d  rejected: %d  pollution reports: %d\n",
+			r.InsertsRateLimited, r.InsertsRejected, r.PollutionReports)
+		fmt.Printf("load reports clamped:     %d  manifest fetches: %d\n", r.LoadReportsClamped, r.ManifestFetches)
+		fmt.Printf("wedged workers:           %d  injected: %d\n", r.WedgedWorkers, r.Injected)
+		res.Runs = append(res.Runs, r)
+	}
+
+	if jsonOut != "" {
+		if err := writeJSONAny(jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "dcosim: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Acceptance: honest delivery holds, the choke point is absolute,
+	// every poisoner got caught, the hardening visibly fired, and nothing
+	// wedged.
+	bad := false
+	for _, r := range res.Runs {
+		if r.DeliveredPercentHonest < 95 {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s honest delivery %.2f%% < 95%%\n", r.Backend, r.DeliveredPercentHonest)
+			bad = true
+		}
+		if r.PollutedAccepted != 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s accepted %d polluted chunks into buffers\n", r.Backend, r.PollutedAccepted)
+			bad = true
+		}
+		if r.PoisonersCaught < r.PoisonersTotal {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s quarantined only %d/%d poisoners\n", r.Backend, r.PoisonersCaught, r.PoisonersTotal)
+			bad = true
+		}
+		// No false positives: only the peers that actually served polluted
+		// bytes may be quarantined. The load liar and the spammer degrade
+		// service but never pollute; honest peers must never be slandered
+		// into exclusion.
+		if len(r.QuarantinedUnion) > r.PoisonersCaught {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s quarantined a non-poisoner: %v\n", r.Backend, r.QuarantinedUnion)
+			bad = true
+		}
+		if r.IntegrityRejects == 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s saw no integrity rejects; the poisoners never fired\n", r.Backend)
+			bad = true
+		}
+		if r.InsertsRateLimited == 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s never rate-limited the spammer\n", r.Backend)
+			bad = true
+		}
+		if r.WedgedWorkers != 0 {
+			fmt.Fprintf(os.Stderr, "dcosim: byzantine: backend %s left %d wedged workers\n", r.Backend, r.WedgedWorkers)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

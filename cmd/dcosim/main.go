@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain | dhtcompare | graychaos")
+		method    = flag.String("method", "dco", "dco | pull | push | tree | live | flashcrowd | splitbrain | dhtcompare | graychaos | byzantine")
 		n         = flag.Int("n", 512, "network size (server + viewers)")
 		neighbors = flag.Int("neighbors", 32, "neighbors per node (tree: out-degree)")
 		chunks    = flag.Int64("chunks", 100, "stream length in chunks")
@@ -69,6 +69,13 @@ func main() {
 		// stalls, and one-way partitions at t/3, on both backends, with
 		// hedging off then on — the gray-failure acceptance scenario.
 		runGrayChaos(*n, *chunks, *seed, *jsonOut)
+		return
+	}
+	if *method == "byzantine" {
+		// Also the real node stack: 25% of the swarm adversarial — chunk
+		// poisoners, a lying load reporter, and an index spammer — on both
+		// backends; the pollution-defense acceptance scenario.
+		runByzantine(*n, *chunks, *seed, *jsonOut)
 		return
 	}
 	if *method == "splitbrain" {

@@ -21,6 +21,18 @@
 // persistent one), persistent per-destination slow lanes (SetSlowLane:
 // every otherwise-clean call pays a seeded-jitter delay), and asymmetric
 // one-way partitions (OneWay: src→dst fails while dst→src flows).
+//
+// Byzantine modes (peers alive, fast, and actively lying — the pollution
+// threat model of internal/live/integrity.go): chunk poisoners
+// (SetPoisoner: every k-th chunk served by the marked peer arrives with a
+// seeded body mutation under an intact seq header, so only hash
+// verification catches it), lying load reporters (SetLoadLiar: the marked
+// peer's Inserts and ChunkResps always claim LoadMilli=0, hogging
+// selection until the contradiction clamps discount it), and active index
+// spam (SpamInserts: a driver-side flood of bogus registrations against
+// coordinators, exercising insert rate limits and the provider cap). As
+// with corruption, the rewrite happens at the caller's decorator, so the
+// marked peer's own code stays honest — the injector supplies the malice.
 package faulty
 
 import (
@@ -83,6 +95,8 @@ const (
 	Stalled
 	SlowLaned
 	OneWayBlocked
+	Poisoned
+	LoadLied
 )
 
 func (a Action) String() string {
@@ -107,6 +121,10 @@ func (a Action) String() string {
 		return "slowlaned"
 	case OneWayBlocked:
 		return "onewayblocked"
+	case Poisoned:
+		return "poisoned"
+	case LoadLied:
+		return "loadlied"
 	default:
 		return "unknown"
 	}
@@ -142,13 +160,17 @@ type Injector struct {
 
 	mu       sync.Mutex
 	def      Rule
-	rules    map[string]Rule          // per destination address
-	seqs     map[string]uint64        // per "src|dst" counter
-	groups   map[string]int           // partition group per address (0 = none)
-	slow     map[string]time.Duration // persistent slow-lane delay per destination
-	stalled  map[string]bool          // persistently stalled destinations (every call)
-	stalledD map[string]bool          // persistently stalled chunk frames only
-	oneway   []onewayRule             // asymmetric partitions
+	rules    map[string]Rule           // per destination address
+	seqs     map[string]uint64         // per "src|dst" counter
+	groups   map[string]int            // partition group per address (0 = none)
+	slow     map[string]time.Duration  // persistent slow-lane delay per destination
+	stalled  map[string]bool           // persistently stalled destinations (every call)
+	stalledD map[string]bool           // persistently stalled chunk frames only
+	oneway   []onewayRule              // asymmetric partitions
+	poison   map[string]int            // poisoner peers: every k-th served chunk is bad
+	poisonN  map[string]uint64         // per-poisoner served-chunk counter (across all requesters)
+	poisoned map[string]map[string]int // poisoner → victim → chunks poisoned (never evicted)
+	loadliar map[string]bool           // peers whose load reports always claim idle
 	history  []Decision
 	injected uint64 // non-pass decisions
 }
@@ -169,6 +191,10 @@ func NewInjector(seed uint64) *Injector {
 		slow:     make(map[string]time.Duration),
 		stalled:  make(map[string]bool),
 		stalledD: make(map[string]bool),
+		poison:   make(map[string]int),
+		poisonN:  make(map[string]uint64),
+		poisoned: make(map[string]map[string]int),
+		loadliar: make(map[string]bool),
 	}
 }
 
@@ -245,6 +271,37 @@ func (in *Injector) SetMidFrameStall(dst string, stalled bool) {
 		return
 	}
 	in.stalledD[dst] = true
+}
+
+// SetPoisoner marks dst as a chunk poisoner: every everyK-th successful
+// chunk payload served by dst (counted per caller, so the schedule is
+// interleaving-independent) arrives with a seeded body mutation. The
+// 8-byte seq header is kept intact, so the payload is plausible — only
+// hash verification at the buffer choke point can reject it. everyK = 1
+// is the persistent poisoner (every chunk bad); everyK <= 0 clears.
+func (in *Injector) SetPoisoner(dst string, everyK int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if everyK <= 0 {
+		delete(in.poison, dst)
+		return
+	}
+	in.poison[dst] = everyK
+}
+
+// SetLoadLiar marks (or clears) dst as a lying load reporter: every load
+// report it emits — the LoadMilli piggybacked on its Inserts and on the
+// ChunkResps it serves — is rewritten to claim a fully idle peer. The lie
+// concentrates viewer selection on the liar; the defense is the
+// contradiction clamps in internal/live/admission.go.
+func (in *Injector) SetLoadLiar(dst string, liar bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !liar {
+		delete(in.loadliar, dst)
+		return
+	}
+	in.loadliar[dst] = true
 }
 
 // OneWay installs an asymmetric partition: calls from any address in srcs
@@ -362,6 +419,116 @@ func (in *Injector) decide(src, dst string, dataFrame bool) Decision {
 	return d
 }
 
+// record appends one decision to the bounded history log.
+func (in *Injector) record(d Decision) {
+	in.mu.Lock()
+	if len(in.history) >= maxHistory {
+		in.history = in.history[1:]
+	}
+	in.history = append(in.history, d)
+	if d.Action != Pass {
+		in.injected++
+	}
+	in.mu.Unlock()
+}
+
+// bendRequest applies Byzantine rewrites to an outbound request from src:
+// a load liar's Insert registrations always claim an idle peer. The
+// message is cloned, never mutated — the caller may still hold it.
+func (in *Injector) bendRequest(src, dst string, req wire.Message) wire.Message {
+	in.mu.Lock()
+	liar := in.loadliar[src]
+	in.mu.Unlock()
+	if !liar {
+		return req
+	}
+	m, ok := req.(*wire.Insert)
+	if !ok || m.Unregister || m.LoadMilli == 0 {
+		return req
+	}
+	c := *m
+	c.LoadMilli = 0
+	in.record(Decision{Src: src, Dst: dst, Action: LoadLied})
+	return &c
+}
+
+// bendResponse applies Byzantine rewrites to a response arriving at src
+// from dst: a poisoner's k-th chunk payload is mutated, and a load liar's
+// piggybacked load report claims idle. In-place mutation is safe for the
+// same reason corrupt relies on it — the Mem transport round-trips every
+// reply through the wire codec, so this copy is the caller's alone.
+func (in *Injector) bendResponse(src, dst string, resp wire.Message) wire.Message {
+	cr, ok := resp.(*wire.ChunkResp)
+	if !ok {
+		return resp
+	}
+	in.mu.Lock()
+	everyK := in.poison[dst]
+	liar := in.loadliar[dst]
+	var served uint64
+	key := src + "|" + dst
+	if everyK > 0 && cr.OK && len(cr.Data) > 0 {
+		// The counter is per poisoner, not per (caller, poisoner) pair: a
+		// real every-k poisoner corrupts every k-th chunk it serves no
+		// matter who asked, so spreading requests across many victims does
+		// not dilute the poison rate.
+		served = in.poisonN[dst]
+		in.poisonN[dst]++
+	}
+	in.mu.Unlock()
+	if liar && cr.LoadMilli != 0 {
+		cr.LoadMilli = 0
+		in.record(Decision{Src: src, Dst: dst, Action: LoadLied})
+	}
+	if everyK > 0 && cr.OK && len(cr.Data) > 0 && served%uint64(everyK) == uint64(everyK-1) {
+		poisonChunk(in.seed, key, served, cr)
+		in.mu.Lock()
+		if in.poisoned[dst] == nil {
+			in.poisoned[dst] = make(map[string]int)
+		}
+		in.poisoned[dst][src]++
+		in.mu.Unlock()
+		in.record(Decision{Src: src, Dst: dst, Seq: served, Action: Poisoned})
+	}
+	return resp
+}
+
+// PoisonStats reports, per marked poisoner, how many chunks it poisoned
+// toward each caller. Unlike History — a bounded log where a busy soak's
+// flood of Pass records evicts old entries — this tally is never evicted,
+// so it is the reliable source for per-poisoner exposure accounting.
+func (in *Injector) PoisonStats() map[string]map[string]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]map[string]int, len(in.poisoned))
+	for dst, m := range in.poisoned {
+		c := make(map[string]int, len(m))
+		for src, k := range m {
+			c[src] = k
+		}
+		out[dst] = c
+	}
+	return out
+}
+
+// poisonChunk applies the seeded body mutation for the served-th poisoned
+// chunk on the src|dst pair: one byte past the 8-byte seq header is
+// XOR-flipped (lanes 10/11 of the schedule), leaving a payload that
+// parses, claims the right seq, and fails hash verification.
+func poisonChunk(seed uint64, key string, served uint64, cr *wire.ChunkResp) {
+	start := 8
+	if len(cr.Data) <= start {
+		start = 0
+	}
+	span := len(cr.Data) - start
+	idx := start + int(roll(seed, key, served, 10)*float64(span))
+	if idx >= len(cr.Data) {
+		idx = len(cr.Data) - 1
+	}
+	mask := byte(1 + uint64(roll(seed, key, served, 11)*255))
+	cr.Data[idx] ^= mask
+}
+
 // roll maps (seed, pair, call counter, fault lane) to a uniform float in
 // [0, 1). Pure function — the heart of the reproducibility guarantee.
 func roll(seed uint64, key string, seq uint64, lane uint64) float64 {
@@ -427,6 +594,17 @@ func (f *faultTransport) Call(addr string, req wire.Message, timeout time.Durati
 }
 
 func (f *faultTransport) call(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
+	req = f.in.bendRequest(f.inner.Addr(), addr, req)
+	resp, err := f.inject(addr, req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return f.in.bendResponse(f.inner.Addr(), addr, resp), nil
+}
+
+// inject applies the scheduled transport-level fault (the Byzantine
+// rewrites happen around it, in call).
+func (f *faultTransport) inject(addr string, req wire.Message, timeout time.Duration) (wire.Message, error) {
 	_, dataFrame := req.(*wire.GetChunk)
 	d := f.in.decide(f.inner.Addr(), addr, dataFrame)
 	switch d.Action {
@@ -492,6 +670,57 @@ func corrupt(seed uint64, d Decision, resp wire.Message) {
 	// Mask drawn from [1, 255] so the flip always changes the byte.
 	mask := byte(1 + uint64(roll(seed, key, d.Seq, 7)*255))
 	cr.Data[idx] ^= mask
+}
+
+// SpamConfig parameterizes an index-spam run: which coordinators to
+// flood, how to map a sequence to its DHT key (the same hash the honest
+// stack uses, so the spam lands on real owners), which fake holder
+// identities to register, and the pacing.
+type SpamConfig struct {
+	Targets  []string               // coordinator addresses to flood
+	KeyFor   func(seq int64) uint64 // seq → index key
+	Seqs     func(i int) int64      // i-th bogus registration's sequence
+	Holders  []wire.Entry           // fake provider identities to rotate
+	Interval time.Duration          // pause between bursts (default 10ms)
+	Burst    int                    // registrations per burst (default 8)
+}
+
+// SpamInserts floods the target coordinators with bogus provider
+// registrations until stop closes — the active index-pollution attacker.
+// Rejections (rate limit, horizon, provider cap) are ignored: a real
+// polluter does not care. Call it in its own goroutine with a transport
+// attached to the test fabric; the src address is the attacker identity
+// the defense should end up rate-limiting.
+func SpamInserts(stop <-chan struct{}, tr transport.Transport, cfg SpamConfig) {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 8
+	}
+	for i := 0; ; {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for b := 0; b < burst; b++ {
+			seq := cfg.Seqs(i)
+			holder := cfg.Holders[i%len(cfg.Holders)]
+			i++
+			for _, t := range cfg.Targets {
+				msg := &wire.Insert{Key: cfg.KeyFor(seq), Seq: seq, Holder: holder, UpBps: 1 << 20}
+				_, _ = tr.Call(t, msg, 200*time.Millisecond)
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(interval):
+		}
+	}
 }
 
 var _ transport.Transport = (*faultTransport)(nil)

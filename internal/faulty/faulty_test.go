@@ -258,6 +258,173 @@ func TestCorruptFlipsExactlyOneChunkByte(t *testing.T) {
 	}
 }
 
+func TestPoisonerMutatesEveryKth(t *testing.T) {
+	payload := []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+	chunkHandler := transport.HandlerFunc(func(from string, req wire.Message) wire.Message {
+		return &wire.ChunkResp{Seq: 7, OK: true, Data: append([]byte(nil), payload...)}
+	})
+	fetchRun := func(seed uint64, everyK, calls int) []bool {
+		in := NewInjector(seed)
+		f := transport.NewFabric()
+		a := in.Wrap(f.Attach(pongHandler(nil)))
+		b := f.Attach(chunkHandler)
+		in.SetPoisoner(b.Addr(), everyK)
+		var bad []bool
+		for i := 0; i < calls; i++ {
+			resp, err := a.Call(b.Addr(), &wire.GetChunk{Seq: 7}, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr := resp.(*wire.ChunkResp)
+			diff := 0
+			for j := range payload {
+				if cr.Data[j] != payload[j] {
+					diff++
+					if j < 8 {
+						t.Fatalf("call %d: poisoner damaged the seq header (byte %d)", i, j)
+					}
+				}
+			}
+			if diff > 1 {
+				t.Fatalf("call %d: %d bytes differ, want at most 1", i, diff)
+			}
+			bad = append(bad, diff == 1)
+		}
+		return bad
+	}
+
+	// Persistent poisoner: every chunk is bad.
+	for i, b := range fetchRun(3, 1, 6) {
+		if !b {
+			t.Fatalf("persistent poisoner passed chunk %d clean", i)
+		}
+	}
+	// Every-3rd poisoner: chunks 2, 5, 8, ... are bad, the rest clean.
+	got := fetchRun(3, 3, 9)
+	for i, b := range got {
+		want := i%3 == 2
+		if b != want {
+			t.Fatalf("every-3rd poisoner: call %d poisoned=%v, want %v", i, b, want)
+		}
+	}
+	// Same seed reproduces the identical poison schedule.
+	again := fetchRun(3, 3, 9)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("poison schedule differs across runs at call %d", i)
+		}
+	}
+	// Clearing stops the poison.
+	in := NewInjector(3)
+	f := transport.NewFabric()
+	a := in.Wrap(f.Attach(pongHandler(nil)))
+	b := f.Attach(chunkHandler)
+	in.SetPoisoner(b.Addr(), 1)
+	in.SetPoisoner(b.Addr(), 0)
+	resp, err := a.Call(b.Addr(), &wire.GetChunk{Seq: 7}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytesEqual(resp.(*wire.ChunkResp).Data, payload) {
+		t.Fatal("cleared poisoner still mutates chunks")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoadLiarZerosReports(t *testing.T) {
+	in := NewInjector(1)
+	f := transport.NewFabric()
+	// The liar serves chunks claiming heavy load; its decorator must zero
+	// the report on the way back to the caller.
+	liarInner := f.Attach(transport.HandlerFunc(func(from string, req wire.Message) wire.Message {
+		return &wire.ChunkResp{Seq: 1, OK: true, Data: []byte("xxxxxxxxxx"), LoadMilli: 900}
+	}))
+	liar := in.Wrap(liarInner)
+	var seenLoad atomic.Uint32
+	coordInner := f.Attach(transport.HandlerFunc(func(from string, req wire.Message) wire.Message {
+		if m, ok := req.(*wire.Insert); ok {
+			seenLoad.Store(m.LoadMilli)
+		}
+		return &wire.Ack{}
+	}))
+	viewer := in.Wrap(f.Attach(pongHandler(nil)))
+	in.SetLoadLiar(liarInner.Addr(), true)
+
+	// Outbound: the liar's own Insert registrations claim idle.
+	_, err := liar.Call(coordInner.Addr(), &wire.Insert{Key: 1, Seq: 1, LoadMilli: 700}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seenLoad.Load(); got != 0 {
+		t.Fatalf("liar's Insert carried LoadMilli=%d, want 0", got)
+	}
+	// Inbound: chunk responses from the liar claim idle too.
+	resp, err := viewer.Call(liarInner.Addr(), &wire.GetChunk{Seq: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := resp.(*wire.ChunkResp); cr.LoadMilli != 0 {
+		t.Fatalf("liar's ChunkResp carried LoadMilli=%d, want 0", cr.LoadMilli)
+	}
+	// The payload itself is untouched — lying about load is not poisoning.
+	if !bytesEqual(resp.(*wire.ChunkResp).Data, []byte("xxxxxxxxxx")) {
+		t.Fatal("load liar mutated the chunk payload")
+	}
+
+	in.SetLoadLiar(liarInner.Addr(), false)
+	_, err = liar.Call(coordInner.Addr(), &wire.Insert{Key: 1, Seq: 1, LoadMilli: 700}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seenLoad.Load(); got != 700 {
+		t.Fatalf("cleared liar still rewrites: LoadMilli=%d, want 700", got)
+	}
+}
+
+func TestSpamInsertsFloodsTargets(t *testing.T) {
+	f := transport.NewFabric()
+	var inserts atomic.Int64
+	coord := f.Attach(transport.HandlerFunc(func(from string, req wire.Message) wire.Message {
+		if _, ok := req.(*wire.Insert); ok {
+			inserts.Add(1)
+		}
+		return &wire.Ack{}
+	}))
+	attacker := f.Attach(pongHandler(nil))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		SpamInserts(stop, attacker, SpamConfig{
+			Targets: []string{coord.Addr()},
+			KeyFor:  func(seq int64) uint64 { return uint64(seq) },
+			Seqs:    func(i int) int64 { return int64(i % 32) },
+			Holders: []wire.Entry{{ID: 99, Addr: "evil:1"}},
+		})
+	}()
+	deadline := time.After(2 * time.Second)
+	for inserts.Load() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("spammer sent only %d inserts in 2s", inserts.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+}
+
 func TestWrapPassesThroughCleanly(t *testing.T) {
 	in := NewInjector(1) // zero rules: everything passes
 	f := transport.NewFabric()

@@ -38,6 +38,24 @@ type Config struct {
 	// MaxPeers bounds the per-address table; beyond it the least recently
 	// observed peer is evicted. 0 derives 1024.
 	MaxPeers int
+
+	// IntegrityHalfLife is the decay half-life of the integrity demerit
+	// score. Deliberately much slower than suspicion's — integrity demerits
+	// decay only with time, never on good responses, so a selective
+	// poisoner cannot wash its record out by serving clean chunks in
+	// between. 0 derives 30s.
+	IntegrityHalfLife time.Duration
+
+	// QuarantineThreshold is the integrity score at or above which a peer
+	// is quarantined: excluded from provider selection outright (unlike
+	// suspicion, which only deprioritizes). Each verification failure
+	// contributes one unit. 0 derives 3; negative disables quarantine.
+	QuarantineThreshold float64
+
+	// QuarantineTTL is how long a quarantine lasts. On expiry the peer
+	// starts from a clean integrity slate (repeat offenses re-accumulate).
+	// 0 derives 30s.
+	QuarantineTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +67,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPeers <= 0 {
 		c.MaxPeers = 1024
+	}
+	if c.IntegrityHalfLife <= 0 {
+		c.IntegrityHalfLife = 30 * time.Second
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = 30 * time.Second
 	}
 	return c
 }
@@ -78,6 +105,10 @@ type peer struct {
 	susp    float64 // suspicion score at the time of `at`
 	samples uint64
 	at      time.Time // last observation (decay reference + LRU eviction)
+
+	integ     float64   // integrity demerit score at the time of integAt
+	integAt   time.Time // integrity decay reference
+	quarUntil time.Time // quarantined while now < quarUntil
 }
 
 // Tracker scores peers by address. All methods are safe for concurrent
@@ -290,4 +321,148 @@ func (t *Tracker) SetNow(now func() time.Time) {
 	t.mu.Lock()
 	t.now = now
 	t.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Integrity dimension: demerits for serving data that failed verification,
+// and quarantine — the one place health excludes rather than deprioritizes.
+// Latency and suspicion measure how a peer performs; integrity measures
+// whether its bytes can be trusted at all, so the response is categorical.
+
+// integLocked returns p's integrity score decayed to t.
+func (p *peer) integLocked(t time.Time, halfLife time.Duration) float64 {
+	dt := t.Sub(p.integAt)
+	if dt <= 0 {
+		return p.integ
+	}
+	return p.integ * math.Exp2(-float64(dt)/float64(halfLife))
+}
+
+// IntegrityDemerit charges addr one unit of integrity evidence (a chunk it
+// served failed verification) and reports whether this demerit pushed the
+// peer over the quarantine threshold. Crossing it starts a QuarantineTTL
+// quarantine and resets the score, so a peer that reoffends after release
+// must accumulate fresh evidence to be quarantined again.
+func (t *Tracker) IntegrityDemerit(addr string) (quarantined bool) {
+	if t == nil || addr == "" {
+		return false
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		p = &peer{at: now, integAt: now}
+		t.peers[addr] = p
+		t.evictLocked()
+	}
+	integ := p.integLocked(now, t.cfg.IntegrityHalfLife) + 1
+	p.integAt = now
+	if t.cfg.QuarantineThreshold > 0 && integ >= t.cfg.QuarantineThreshold && now.After(p.quarUntil) {
+		p.quarUntil = now.Add(t.cfg.QuarantineTTL)
+		p.integ = 0
+		return true
+	}
+	p.integ = integ
+	return false
+}
+
+// ForceQuarantine puts addr under quarantine for QuarantineTTL regardless
+// of its accumulated score (coordinator-side verdicts from corroborated
+// pollution reports land here). Extends an existing quarantine.
+func (t *Tracker) ForceQuarantine(addr string) {
+	if t == nil || addr == "" || t.cfg.QuarantineThreshold < 0 {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		p = &peer{at: now, integAt: now}
+		t.peers[addr] = p
+		t.evictLocked()
+	}
+	p.quarUntil = now.Add(t.cfg.QuarantineTTL)
+	p.integ = 0
+}
+
+// Quarantined reports whether addr is currently quarantined.
+func (t *Tracker) Quarantined(addr string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	return p != nil && t.now().Before(p.quarUntil)
+}
+
+// IntegrityScore returns addr's integrity demerit score decayed to now
+// (0 = clean; unknown peers are clean).
+func (t *Tracker) IntegrityScore(addr string) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[addr]
+	if p == nil {
+		return 0
+	}
+	return p.integLocked(t.now(), t.cfg.IntegrityHalfLife)
+}
+
+// MaxIntegrityScore returns the highest current integrity score across all
+// tracked peers (the per-peer demerit gauge's aggregate: the registry has
+// no labels, so the gauge surfaces the worst offender).
+func (t *Tracker) MaxIntegrityScore() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	max := 0.0
+	for _, p := range t.peers {
+		if s := p.integLocked(now, t.cfg.IntegrityHalfLife); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// QuarantinedCount returns how many tracked peers are currently
+// quarantined (gauges).
+func (t *Tracker) QuarantinedCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	c := 0
+	for _, p := range t.peers {
+		if now.Before(p.quarUntil) {
+			c++
+		}
+	}
+	return c
+}
+
+// QuarantinedPeers lists the addresses currently under quarantine.
+func (t *Tracker) QuarantinedPeers() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var out []string
+	for a, p := range t.peers {
+		if now.Before(p.quarUntil) {
+			out = append(out, a)
+		}
+	}
+	return out
 }

@@ -210,3 +210,141 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// --- Integrity / quarantine state machine ---
+
+func TestIntegrityDemeritAccrualAndQuarantineEntry(t *testing.T) {
+	tr, _ := newTestTracker(Config{QuarantineThreshold: 3})
+	if tr.IntegrityScore("p") != 0 || tr.Quarantined("p") {
+		t.Fatal("unknown peer must start clean")
+	}
+	if tr.IntegrityDemerit("p") {
+		t.Fatal("first demerit must not quarantine at threshold 3")
+	}
+	if tr.IntegrityDemerit("p") {
+		t.Fatal("second demerit must not quarantine at threshold 3")
+	}
+	if s := tr.IntegrityScore("p"); s != 2 {
+		t.Fatalf("score after two demerits = %v, want 2", s)
+	}
+	if !tr.IntegrityDemerit("p") {
+		t.Fatal("third demerit must trip quarantine")
+	}
+	if !tr.Quarantined("p") {
+		t.Fatal("peer must be quarantined after crossing threshold")
+	}
+	if s := tr.IntegrityScore("p"); s != 0 {
+		t.Fatalf("score must reset on quarantine entry, got %v", s)
+	}
+	if c := tr.QuarantinedCount(); c != 1 {
+		t.Fatalf("QuarantinedCount = %d, want 1", c)
+	}
+	if qs := tr.QuarantinedPeers(); len(qs) != 1 || qs[0] != "p" {
+		t.Fatalf("QuarantinedPeers = %v, want [p]", qs)
+	}
+}
+
+func TestIntegrityDecayPreventsQuarantine(t *testing.T) {
+	tr, clk := newTestTracker(Config{QuarantineThreshold: 3, IntegrityHalfLife: 10 * time.Second})
+	tr.IntegrityDemerit("p")
+	tr.IntegrityDemerit("p")
+	// Two half-lives: 2.0 decays to 0.5; the next demerit lands at 1.5,
+	// well under the threshold.
+	clk.advance(20 * time.Second)
+	if tr.IntegrityDemerit("p") {
+		t.Fatal("decayed demerits must not trip quarantine")
+	}
+	if s := tr.IntegrityScore("p"); s != 1.5 {
+		t.Fatalf("score = %v, want 1.5", s)
+	}
+}
+
+func TestIntegrityNotWashedOutByGoodResponses(t *testing.T) {
+	tr, _ := newTestTracker(Config{QuarantineThreshold: 3})
+	tr.IntegrityDemerit("p")
+	tr.IntegrityDemerit("p")
+	// A selective poisoner serves plenty of clean chunks between poisoned
+	// ones; integrity must not decay on them (only time decays it).
+	for i := 0; i < 50; i++ {
+		tr.Observe("p", time.Millisecond, true)
+	}
+	if s := tr.IntegrityScore("p"); s != 2 {
+		t.Fatalf("score after good responses = %v, want 2 (no ok-decay)", s)
+	}
+	if !tr.IntegrityDemerit("p") {
+		t.Fatal("third demerit must still trip quarantine")
+	}
+}
+
+func TestQuarantineExpiryAndReentry(t *testing.T) {
+	tr, clk := newTestTracker(Config{QuarantineThreshold: 2, QuarantineTTL: 5 * time.Second})
+	tr.IntegrityDemerit("p")
+	tr.IntegrityDemerit("p")
+	if !tr.Quarantined("p") {
+		t.Fatal("want quarantined")
+	}
+	clk.advance(6 * time.Second)
+	if tr.Quarantined("p") {
+		t.Fatal("quarantine must expire after TTL")
+	}
+	// Clean slate after release: one demerit is not enough again.
+	if tr.IntegrityDemerit("p") {
+		t.Fatal("single demerit after release must not re-quarantine")
+	}
+	if !tr.IntegrityDemerit("p") {
+		t.Fatal("fresh accumulation must re-quarantine")
+	}
+	if !tr.Quarantined("p") {
+		t.Fatal("want re-quarantined")
+	}
+}
+
+func TestForceQuarantine(t *testing.T) {
+	tr, clk := newTestTracker(Config{QuarantineTTL: 5 * time.Second})
+	tr.ForceQuarantine("p")
+	if !tr.Quarantined("p") {
+		t.Fatal("ForceQuarantine must quarantine immediately")
+	}
+	clk.advance(3 * time.Second)
+	tr.ForceQuarantine("p") // extend
+	clk.advance(3 * time.Second)
+	if !tr.Quarantined("p") {
+		t.Fatal("second ForceQuarantine must extend the window")
+	}
+	clk.advance(3 * time.Second)
+	if tr.Quarantined("p") {
+		t.Fatal("extended quarantine must still expire")
+	}
+}
+
+func TestQuarantineDisabledByNegativeThreshold(t *testing.T) {
+	tr, _ := newTestTracker(Config{QuarantineThreshold: -1})
+	for i := 0; i < 10; i++ {
+		if tr.IntegrityDemerit("p") {
+			t.Fatal("negative threshold must disable quarantine")
+		}
+	}
+	tr.ForceQuarantine("p")
+	if tr.Quarantined("p") {
+		t.Fatal("ForceQuarantine must be a no-op when quarantine is disabled")
+	}
+}
+
+func TestNilTrackerIntegrityNeutral(t *testing.T) {
+	var tr *Tracker
+	if tr.IntegrityDemerit("a") || tr.Quarantined("a") || tr.IntegrityScore("a") != 0 ||
+		tr.MaxIntegrityScore() != 0 || tr.QuarantinedCount() != 0 || tr.QuarantinedPeers() != nil {
+		t.Fatal("nil tracker must be neutral for integrity APIs")
+	}
+	tr.ForceQuarantine("a")
+}
+
+func TestMaxIntegrityScore(t *testing.T) {
+	tr, _ := newTestTracker(Config{QuarantineThreshold: 10})
+	tr.IntegrityDemerit("a")
+	tr.IntegrityDemerit("b")
+	tr.IntegrityDemerit("b")
+	if s := tr.MaxIntegrityScore(); s != 2 {
+		t.Fatalf("MaxIntegrityScore = %v, want 2", s)
+	}
+}

@@ -225,6 +225,32 @@ func (n *Node) orderProvidersByLoad(provs []wire.Entry) []wire.Entry {
 		}
 	}
 	n.provLoadMu.Unlock()
+	// Latency-contradiction clamp (the other half of the lying-load
+	// defense): a provider advertising itself near-idle while its observed
+	// serve latency towers over the cohort's best is either lying or
+	// measuring wrong — discount its report to saturated so the claim
+	// cannot capture the order. The floor keeps sub-ms LAN jitter from
+	// ever tripping it, and the 4x ratio demands a real contradiction.
+	ewmas := make([]time.Duration, len(provs))
+	var minEwma time.Duration
+	known := 0
+	for i, pr := range provs {
+		if d, ok := n.health.ExpectedLatency(pr.Addr); ok {
+			ewmas[i] = d
+			if known == 0 || d < minEwma {
+				minEwma = d
+			}
+			known++
+		}
+	}
+	if known >= 2 {
+		for i := range provs {
+			if loads[i] < loadSaturatedMilli/2 && ewmas[i] >= loadLieLatencyFloor && ewmas[i] > 4*minEwma {
+				loads[i] = loadSaturatedMilli
+				n.lm.loadReportsClamped.Inc()
+			}
+		}
+	}
 	for i, pr := range provs {
 		// +1 so an idle (load 0) suspected peer still ranks behind an idle
 		// healthy one.
@@ -246,6 +272,11 @@ func (n *Node) orderProvidersByLoad(provs []wire.Entry) []wire.Entry {
 	return out
 }
 
+// loadLieLatencyFloor is the minimum observed latency EWMA before the
+// latency-contradiction clamp can trip — below it the peer is fast enough
+// that its load claim is unfalsifiable (and harmless).
+const loadLieLatencyFloor = 20 * time.Millisecond
+
 // cohortSpreadMilli defines the coordinator's low-load cohort: providers
 // within this much of the least-loaded report. Rotating inside the cohort
 // spreads a flash crowd across comparably idle providers instead of
@@ -259,21 +290,31 @@ const cohortSpreadMilli = 300
 // When every provider is saturated the least-loaded ones are returned
 // anyway — a degraded answer beats an empty one. When more providers are
 // registered than the answer carries, the last slot is an exploration
-// pick from outside the chosen set (see below). Caller holds n.mu.
-func (e *indexEntry) selectLocked(max int) []wire.Entry {
+// pick from outside the chosen set (see below). exclude (nil = none)
+// drops providers outright — quarantined peers never appear in answers,
+// even degraded ones (integrity.go). Caller holds n.mu.
+func (e *indexEntry) selectLocked(max int, exclude func(addr string) bool) []wire.Entry {
 	if len(e.providers) == 0 || max <= 0 {
 		return nil
 	}
+	usable := func(i int) bool {
+		return exclude == nil || !exclude(e.providers[i].ent.Addr)
+	}
 	cand := make([]int, 0, len(e.providers))
 	for i := range e.providers {
-		if e.providers[i].loadMilli < loadSaturatedMilli {
+		if e.providers[i].loadMilli < loadSaturatedMilli && usable(i) {
 			cand = append(cand, i)
 		}
 	}
 	if len(cand) == 0 {
 		for i := range e.providers {
-			cand = append(cand, i)
+			if usable(i) {
+				cand = append(cand, i)
+			}
 		}
+	}
+	if len(cand) == 0 {
+		return nil
 	}
 	sort.SliceStable(cand, func(a, b int) bool {
 		pa, pb := &e.providers[cand[a]], &e.providers[cand[b]]

@@ -27,8 +27,8 @@ func grayTrio(t *testing.T, cfg Config, seq int64) (viewer, primary, backup *Nod
 	}
 	viewer, primary, backup = mk(), mk(), mk()
 	data := MakeChunkPayload(cfg.Channel, seq)
-	primary.storeChunk(seq, data)
-	backup.storeChunk(seq, data)
+	primary.storeChunk(seq, data, "")
+	backup.storeChunk(seq, data, "")
 	return viewer, primary, backup, in
 }
 
@@ -139,7 +139,7 @@ func TestGetChunkDeadlineShed(t *testing.T) {
 	cfg.AdmitMaxWait = time.Second
 	n := soloNode(t, cfg)
 	data := MakeChunkPayload(cfg.Channel, 3)
-	n.storeChunk(3, data)
+	n.storeChunk(3, data, "")
 
 	// Deadline-bound: 100ms of budget against a ~500ms projected wait.
 	resp := n.onGetChunk(&wire.GetChunk{Seq: 3, DeadlineMs: 100})

@@ -1,0 +1,558 @@
+package live
+
+// Byzantine data-plane defense (see DESIGN.md, "Threat model & pollution
+// defense"). The overlay lets any peer serve chunks and insert index
+// entries — the paper's openness is also its attack surface. This file is
+// the integrity layer closing it:
+//
+//   - Chunk manifests: the source mints a (seq → SHA-256, tag) row per
+//     generated chunk. Rows travel on demand (ManifestReq/ManifestResp),
+//     ride replication batches with the chunk index, and their coverage is
+//     advertised cheaply via ManifestHead/ManifestDigest piggybacked on
+//     Insert and ChunkResp. The tag authenticates a row against the
+//     channel parameters, so any peer can relay rows it did not mint.
+//   - One verification choke point: storeChunk refuses any payload that
+//     fails manifest (or, uncovered, generator) verification — nothing
+//     enters the buffer map or gets re-served unverified.
+//   - Quarantine: a peer that serves polluted bytes is charged integrity
+//     demerits (internal/health); repeat offenders are excluded from
+//     provider selection outright, reported to the chunk's coordinator,
+//     and — once enough distinct reporters agree — scrubbed from the index.
+//   - Index hardening: per-holder insert rate limits, a provider cap per
+//     entry, and a live-edge horizon bound what a spammer can register.
+//
+// What is deliberately NOT defended: Sybil identities and eclipse
+// placement. The tag is keyed on public channel parameters (a stand-in
+// for real source signatures), reporter identities are unauthenticated
+// (hence the distinct-reporter threshold), and a spammer can mint holder
+// addresses faster than any per-address limit can bind. DESIGN.md says so
+// out loud.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"dco/internal/dht"
+	"dco/internal/stream"
+	"dco/internal/wire"
+)
+
+// manifestRec is one cached manifest row: the chunk's payload hash and the
+// channel-keyed tag that makes the row relayable.
+type manifestRec struct {
+	hash [sha256.Size]byte
+	tag  [sha256.Size]byte
+}
+
+// manifestTag authenticates a manifest row against the channel parameters:
+// SHA-256 over a domain tag, the channel identity, seq, and the payload
+// hash. It is a stand-in for a source signature — anyone who knows the
+// channel parameters can mint tags, which is exactly the Sybil limitation
+// DESIGN.md documents; what it does buy is that rows cannot be corrupted
+// or replayed across channels/seqs while being relayed peer-to-peer.
+func manifestTag(p stream.Params, seq int64, hash [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("dco/manifest/v1\x00"))
+	h.Write([]byte(p.Channel))
+	var num [16]byte
+	binary.BigEndian.PutUint64(num[:8], uint64(p.ChunkBits))
+	binary.BigEndian.PutUint64(num[8:], uint64(seq))
+	h.Write(num[:])
+	h.Write(hash[:])
+	var tag [sha256.Size]byte
+	h.Sum(tag[:0])
+	return tag
+}
+
+// addManifestEntrySource mints and caches the manifest row for a chunk the
+// source just generated (the one place rows originate).
+func (n *Node) addManifestEntrySource(seq int64, data []byte) {
+	hash := sha256.Sum256(data)
+	rec := manifestRec{hash: hash, tag: manifestTag(n.cfg.Channel, seq, hash)}
+	n.manMu.Lock()
+	n.manifest[seq] = rec
+	if seq+1 > n.manHead {
+		n.manHead = seq + 1
+	}
+	n.trimManifestLocked()
+	n.manMu.Unlock()
+}
+
+// noteManifestEntry folds in a row learned from a peer (ManifestResp or a
+// replication batch), verifying its tag first. Returns false for rows that
+// fail authentication — the caller decides whether that is chargeable.
+func (n *Node) noteManifestEntry(seq int64, hash, tag []byte) bool {
+	if seq < 0 || len(hash) != sha256.Size || len(tag) != sha256.Size {
+		return false
+	}
+	var rec manifestRec
+	copy(rec.hash[:], hash)
+	copy(rec.tag[:], tag)
+	if manifestTag(n.cfg.Channel, seq, rec.hash) != rec.tag {
+		return false
+	}
+	n.manMu.Lock()
+	n.manifest[seq] = rec
+	if seq+1 > n.manHead {
+		n.manHead = seq + 1
+	}
+	n.trimManifestLocked()
+	n.manMu.Unlock()
+	return true
+}
+
+// trimManifestLocked ages the oldest rows out once the cache exceeds the
+// configured window. Caller holds manMu.
+func (n *Node) trimManifestLocked() {
+	w := n.cfg.ManifestWindow
+	if w <= 0 || len(n.manifest) <= w {
+		return
+	}
+	cut := n.manHead - int64(w)
+	for seq := range n.manifest {
+		if seq < cut {
+			delete(n.manifest, seq)
+		}
+	}
+}
+
+// manifestLookup returns the cached row for seq.
+func (n *Node) manifestLookup(seq int64) (manifestRec, bool) {
+	n.manMu.Lock()
+	rec, ok := n.manifest[seq]
+	n.manMu.Unlock()
+	return rec, ok
+}
+
+// manifestAd returns the coverage advertisement piggybacked on Insert and
+// ChunkResp: the exclusive head of this node's verified coverage and a
+// fingerprint of the newest row (0, 0 when the cache is empty).
+func (n *Node) manifestAd() (head int64, digest uint64) {
+	n.manMu.Lock()
+	defer n.manMu.Unlock()
+	if n.manHead == 0 {
+		return 0, 0
+	}
+	if rec, ok := n.manifest[n.manHead-1]; ok {
+		h := fnv.New64a()
+		h.Write(rec.hash[:])
+		digest = h.Sum64()
+	}
+	return n.manHead, digest
+}
+
+// stampManifestAd fills a ChunkResp's coverage advertisement in place.
+func (n *Node) stampManifestAd(cr *wire.ChunkResp) *wire.ChunkResp {
+	cr.ManifestHead, cr.ManifestDigest = n.manifestAd()
+	return cr
+}
+
+// manifestHeadEstimate is the verified live-edge estimate the insert
+// horizon is measured from: the newest seq this node generated, buffered,
+// or holds an authenticated manifest row for. -1 = no idea.
+func (n *Node) manifestHeadEstimate() int64 {
+	n.manMu.Lock()
+	head := n.manHead - 1
+	n.manMu.Unlock()
+	return head
+}
+
+// manifestReqMax bounds how many rows one ManifestResp carries (80 bytes
+// encoded per row keeps a full response far under MaxFrame).
+const manifestReqMax = 512
+
+// manFetchEvery rate-limits ad-triggered background manifest fetches: an
+// ad is an unauthenticated hint, so it may cost this node at most one
+// round-trip per second no matter who advertises what.
+const manFetchEvery = time.Second
+
+// noteManifestAd reacts to a piggybacked coverage advertisement from addr:
+// when it claims rows past this node's verified head, fetch them (rows
+// self-authenticate, so the worst a lying ad costs is the rate-limited
+// round-trip). This is how coordinators that never fetch chunks still
+// build manifest coverage for the horizon check and replication piggyback.
+func (n *Node) noteManifestAd(addr string, head int64) {
+	if head <= 0 || addr == "" || addr == n.Addr() {
+		return
+	}
+	n.manMu.Lock()
+	trigger := head > n.manHead && time.Since(n.manFetchAt) >= manFetchEvery
+	from := n.manHead
+	if trigger {
+		n.manFetchAt = time.Now()
+	}
+	n.manMu.Unlock()
+	if !trigger {
+		return
+	}
+	// Untracked goroutine (fetchOnce precedent): call-timeout bounded.
+	go func() {
+		resp, err := n.call(addr, &wire.ManifestReq{FromSeq: from, Max: manifestReqMax})
+		if err != nil {
+			return
+		}
+		if mr, ok := resp.(*wire.ManifestResp); ok {
+			n.lm.manifestFetches.Inc()
+			for _, e := range mr.Entries {
+				n.noteManifestEntry(e.Seq, e.Hash, e.Tag)
+			}
+		}
+	}()
+}
+
+// onManifestReq serves this node's manifest rows for [FromSeq,
+// FromSeq+Max). Any node answers with whatever it holds — rows are
+// self-authenticating, so there is no owner check.
+func (n *Node) onManifestReq(m *wire.ManifestReq) wire.Message {
+	max := int(m.Max)
+	if max <= 0 || max > manifestReqMax {
+		max = manifestReqMax
+	}
+	n.lm.manifestServes.Inc()
+	n.manMu.Lock()
+	resp := &wire.ManifestResp{Head: n.manHead}
+	for seq := m.FromSeq; seq < m.FromSeq+int64(max); seq++ {
+		if rec, ok := n.manifest[seq]; ok {
+			resp.Entries = append(resp.Entries, wire.ManifestEntry{
+				Seq:  seq,
+				Hash: append([]byte(nil), rec.hash[:]...),
+				Tag:  append([]byte(nil), rec.tag[:]...),
+			})
+		}
+	}
+	n.manMu.Unlock()
+	return resp
+}
+
+// ensureManifest makes a best-effort attempt to cover seq with a manifest
+// row before verification, asking the serving provider first (it just
+// proved it has the chunk; it usually has the row too) and the chunk's
+// coordinator as fallback. Verification does not depend on success — the
+// generator check covers uncovered seqs — so one round each is plenty.
+func (n *Node) ensureManifest(seq int64, provider string) {
+	if _, ok := n.manifestLookup(seq); ok {
+		return
+	}
+	from := seq - 64
+	if from < 0 {
+		from = 0
+	}
+	req := &wire.ManifestReq{FromSeq: from, Max: manifestReqMax}
+	for _, addr := range n.manifestSources(seq, provider) {
+		resp, err := n.call(addr, req)
+		if err != nil {
+			continue
+		}
+		mr, ok := resp.(*wire.ManifestResp)
+		if !ok {
+			continue
+		}
+		n.lm.manifestFetches.Inc()
+		for _, e := range mr.Entries {
+			n.noteManifestEntry(e.Seq, e.Hash, e.Tag)
+		}
+		if _, ok := n.manifestLookup(seq); ok {
+			return
+		}
+	}
+}
+
+// manifestSources lists who to ask for manifest rows covering seq: the
+// serving provider, then the chunk's coordinator.
+func (n *Node) manifestSources(seq int64, provider string) []string {
+	var out []string
+	if provider != "" && provider != n.Addr() {
+		out = append(out, provider)
+	}
+	key := uint64(n.cfg.Channel.Ref(seq).ID())
+	if owner, _, err := n.FindOwner(key); err == nil && owner.Addr != n.Addr() && owner.Addr != provider {
+		out = append(out, owner.Addr)
+	}
+	return out
+}
+
+// chunkOK is the verification predicate behind the buffer choke point:
+// manifest hash when the seq is covered (authoritative — no fallback on
+// mismatch), the deterministic generator otherwise.
+func (n *Node) chunkOK(seq int64, data []byte) bool {
+	if rec, ok := n.manifestLookup(seq); ok {
+		return sha256.Sum256(data) == rec.hash
+	}
+	return VerifyChunkPayload(n.cfg.Channel, seq, data)
+}
+
+// punishPoisoner charges addr for serving a polluted chunk: blacklist (it
+// is not asked again this cooldown), an integrity demerit (enough of them
+// quarantines it from selection entirely), and a best-effort pollution
+// report to the chunk's coordinator so the index stops advertising it.
+func (n *Node) punishPoisoner(addr string, seq int64) {
+	if addr == "" {
+		return
+	}
+	n.blacklistProvider(addr)
+	if n.health.IntegrityDemerit(addr) {
+		n.noteQuarantined(addr, "demerits")
+	}
+	n.reportPollution(addr, seq)
+}
+
+// noteQuarantined records a quarantine entry (either trigger path).
+func (n *Node) noteQuarantined(addr, why string) {
+	n.lm.peersQuarantined.Inc()
+	n.traceEvent("peer.quarantine", "peer="+addr+" why="+why)
+	n.mu.Lock()
+	n.quarLog[addr] = true
+	n.mu.Unlock()
+}
+
+// pollutionReportCooldown bounds how often this node re-accuses the same
+// peer — one report per offender per window carries all the signal.
+const pollutionReportCooldown = 5 * time.Second
+
+// reportPollution sends one PollutionReport for target, at most once per
+// target per cooldown, to up to three coordinators: seq's coordinator
+// (the one node that can scrub the polluted entry) and two salted
+// per-target rendezvous points, so that accusations from viewers who hit
+// the same poisoner on different chunks still converge on a common tally.
+// The salt keeps a rendezvous off the target's own ring position (a node
+// owns its own address hash and would shrug off the accusation); two of
+// them make "both rendezvous owners are the accused or its accomplices"
+// vanishingly unlikely. Fire-and-forget: the report is an optimization
+// (the reporter already protects itself via demerits); losing one costs
+// nothing but time.
+func (n *Node) reportPollution(target string, seq int64) {
+	n.mu.Lock()
+	if at, ok := n.reportedAt[target]; ok && time.Since(at) < pollutionReportCooldown {
+		n.mu.Unlock()
+		return
+	}
+	if n.reportedAt == nil {
+		n.reportedAt = make(map[string]time.Time)
+	}
+	n.reportedAt[target] = time.Now()
+	n.mu.Unlock()
+
+	key := uint64(n.cfg.Channel.Ref(seq).ID())
+	msg := &wire.PollutionReport{
+		From:   n.wireSelf(),
+		Key:    key,
+		Seq:    seq,
+		Target: wire.Entry{ID: dht.IDOf(target), Addr: target},
+	}
+	n.lm.pollutionReportsSent.Inc()
+	// Untracked goroutine by design (like fetchOnce's hedge legs): it is
+	// bounded by the call timeouts and a closed transport fails it fast.
+	go func() {
+		sent := make(map[string]bool, 3)
+		deliver := func(k uint64) {
+			owner, _, err := n.FindOwner(k)
+			if err != nil || sent[owner.Addr] || owner.Addr == target {
+				return
+			}
+			sent[owner.Addr] = true
+			if owner.Addr == n.Addr() {
+				n.onPollutionReport(msg)
+				return
+			}
+			_, _ = n.call(owner.Addr, msg)
+		}
+		deliver(key)
+		deliver(dht.IDOf("pollution/1/" + target))
+		deliver(dht.IDOf("pollution/2/" + target))
+	}()
+}
+
+// onPollutionReport tallies an accusation against m.Target. Once
+// PollutionReporters distinct reporters accuse the same peer within the
+// quarantine window, the coordinator force-quarantines it and scrubs its
+// provider rows from the owned index (with unregister ops replicated, so
+// the scrub survives failover). Reporter identities are unauthenticated —
+// the threshold is what keeps one slanderer from evicting a peer.
+func (n *Node) onPollutionReport(m *wire.PollutionReport) wire.Message {
+	if m.Target.Addr == "" || m.From.Addr == "" || m.From.Addr == m.Target.Addr {
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "malformed pollution report"}
+	}
+	n.lm.pollutionReportsSeen.Inc()
+	if m.Target.Addr == n.Addr() {
+		// Accusations against this node are noted (counter above) but it
+		// will not quarantine itself; honest nodes never serve polluted
+		// bytes, so these are either slander or a corrupting link.
+		return &wire.Ack{}
+	}
+	window := n.cfg.QuarantineTTL
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	now := time.Now()
+	n.mu.Lock()
+	reporters := n.pollution[m.Target.Addr]
+	if reporters == nil {
+		reporters = make(map[string]time.Time)
+		n.pollution[m.Target.Addr] = reporters
+		// Bound the tally table: a reporter-spammer must not grow it
+		// without limit. Dropping the oldest tallies only delays justice.
+		if len(n.pollution) > 1024 {
+			for a, rs := range n.pollution {
+				stale := true
+				for _, at := range rs {
+					if now.Sub(at) < window {
+						stale = false
+						break
+					}
+				}
+				if stale && a != m.Target.Addr {
+					delete(n.pollution, a)
+				}
+			}
+		}
+	}
+	reporters[m.From.Addr] = now
+	for a, at := range reporters {
+		if now.Sub(at) >= window {
+			delete(reporters, a)
+		}
+	}
+	distinct := len(reporters)
+	trip := distinct >= n.cfg.PollutionReporters && !n.health.Quarantined(m.Target.Addr)
+	var scrubbed int
+	if trip {
+		scrubbed = n.scrubProviderLocked(m.Target.Addr)
+	}
+	n.mu.Unlock()
+	if trip {
+		n.health.ForceQuarantine(m.Target.Addr)
+		n.noteQuarantined(m.Target.Addr, fmt.Sprintf("reports=%d scrubbed=%d", distinct, scrubbed))
+	}
+	return &wire.Ack{}
+}
+
+// scrubProviderLocked removes every provider row addr holds in the owned
+// index, replicating unregisters so the scrub survives coordinator
+// failover. Returns how many rows were removed. Caller holds n.mu.
+func (n *Node) scrubProviderLocked(addr string) int {
+	scrubbed := 0
+	for seq, e := range n.index {
+		for i, pr := range e.providers {
+			if pr.ent.Addr == addr {
+				e.providers = append(e.providers[:i], e.providers[i+1:]...)
+				key := uint64(n.cfg.Channel.Ref(seq).ID())
+				n.enqueueReplicaLocked(key, seq, pr.ent, 0, time.Time{}, true)
+				scrubbed++
+				break
+			}
+		}
+	}
+	return scrubbed
+}
+
+// ---------------------------------------------------------------------------
+// Index hardening: what onInsert checks before accepting a registration.
+
+// insertBucket is one holder's insert token bucket.
+type insertBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// insertAllowedLocked vets one Insert against the pollution defenses:
+// quarantined holders are refused, per-holder insert rates are capped
+// (token bucket, burst 2x), registrations past the live-edge horizon are
+// rejected, and full entries accept no new providers. nil = allowed.
+// Unregisters only pay the rate limit — removing rows is never refused
+// for capacity reasons. Caller holds n.mu.
+func (n *Node) insertAllowedLocked(m *wire.Insert, e *indexEntry) *wire.Error {
+	if rate := n.cfg.InsertRate; rate > 0 {
+		now := time.Now()
+		b := n.insRate[m.Holder.Addr]
+		if b == nil {
+			// Bound the bucket table like the other per-peer maps.
+			if len(n.insRate) > 4096 {
+				cutoff := now.Add(-10 * time.Second)
+				for a, ob := range n.insRate {
+					if ob.last.Before(cutoff) {
+						delete(n.insRate, a)
+					}
+				}
+			}
+			b = &insertBucket{tokens: 2 * rate, last: now}
+			n.insRate[m.Holder.Addr] = b
+		}
+		b.tokens += now.Sub(b.last).Seconds() * rate
+		if max := 2 * rate; b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+		if b.tokens < 1 {
+			n.lm.insertsRateLimited.Inc()
+			return &wire.Error{Code: wire.CodeBusy, Msg: "live: insert rate limited"}
+		}
+		b.tokens--
+	}
+	if m.Unregister {
+		return nil
+	}
+	if n.health.Quarantined(m.Holder.Addr) {
+		n.lm.insertsRejected.Inc()
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "live: holder quarantined"}
+	}
+	if horizon := n.cfg.InsertHorizon; horizon > 0 {
+		edge := n.latestGen
+		if mh := n.manifestHeadEstimate(); mh > edge {
+			edge = mh
+		}
+		if edge >= 0 && m.Seq > edge+int64(horizon) {
+			n.lm.insertsRejected.Inc()
+			return &wire.Error{Code: wire.CodeBadRequest, Msg: "live: seq beyond live-edge horizon"}
+		}
+	}
+	if lim := n.cfg.MaxProvidersPerSeq; lim > 0 && len(e.providers) >= lim {
+		for i := range e.providers {
+			if e.providers[i].ent.Addr == m.Holder.Addr {
+				return nil // refresh of an existing row, not growth
+			}
+		}
+		n.lm.insertsRejected.Inc()
+		return &wire.Error{Code: wire.CodeBadRequest, Msg: "live: provider cap reached"}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Soak oracles.
+
+// VerifyBuffered re-verifies every buffered chunk against the generator
+// and returns how many fail — the byzantine soak's "zero polluted chunks
+// accepted" gate reads it. The buffer choke point makes nonzero a bug.
+func (n *Node) VerifyBuffered() int {
+	n.mu.Lock()
+	snapshot := make(map[int64][]byte, len(n.chunks))
+	for seq, data := range n.chunks {
+		snapshot[seq] = data
+	}
+	n.mu.Unlock()
+	bad := 0
+	for seq, data := range snapshot {
+		if !VerifyChunkPayload(n.cfg.Channel, seq, data) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// EverQuarantined lists every peer this node quarantined at any point
+// (quarantines expire; this log does not — soak gates read it).
+func (n *Node) EverQuarantined() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.quarLog))
+	for a := range n.quarLog {
+		out = append(out, a)
+	}
+	return out
+}
+
+// QuarantinedPeers lists the peers currently under quarantine.
+func (n *Node) QuarantinedPeers() []string { return n.health.QuarantinedPeers() }

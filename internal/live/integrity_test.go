@@ -1,0 +1,409 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dco/internal/faulty"
+	"dco/internal/transport"
+	"dco/internal/wire"
+)
+
+// TestManifestTagAuthenticatesRows pins the row-relay contract: a row the
+// source minted folds in anywhere, while any bit of tampering — hash, tag,
+// or seq reassignment — is rejected before the row can shadow verification.
+func TestManifestTagAuthenticatesRows(t *testing.T) {
+	src := soloNode(t, fastConfig(true))
+	peer := soloNode(t, fastConfig(false))
+	data := MakeChunkPayload(src.cfg.Channel, 7)
+	src.addManifestEntrySource(7, data)
+	rec, ok := src.manifestLookup(7)
+	if !ok {
+		t.Fatal("source did not cache its own manifest row")
+	}
+
+	if !peer.noteManifestEntry(7, rec.hash[:], rec.tag[:]) {
+		t.Fatal("authentic row rejected")
+	}
+	if _, ok := peer.manifestLookup(7); !ok {
+		t.Fatal("accepted row not cached")
+	}
+	// Tampered hash: the tag no longer matches.
+	badHash := append([]byte(nil), rec.hash[:]...)
+	badHash[0] ^= 1
+	if peer.noteManifestEntry(8, badHash, rec.tag[:]) {
+		t.Fatal("tampered hash accepted")
+	}
+	// Replayed to a different seq: the tag binds the seq.
+	if peer.noteManifestEntry(9, rec.hash[:], rec.tag[:]) {
+		t.Fatal("row replayed across seqs accepted")
+	}
+	// Truncated fields.
+	if peer.noteManifestEntry(7, rec.hash[:16], rec.tag[:]) {
+		t.Fatal("short hash accepted")
+	}
+}
+
+// TestStoreChunkChokePointRejectsPollution pins the single verification
+// choke point: a polluted payload never enters the buffer (manifest-covered
+// or not), is counted, and charges the serving peer.
+func TestStoreChunkChokePointRejectsPollution(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	good := MakeChunkPayload(n.cfg.Channel, 3)
+	bad := append([]byte(nil), good...)
+	bad[42] ^= 0xFF
+
+	if n.storeChunk(3, bad, "evil:1") {
+		t.Fatal("polluted chunk accepted (generator check)")
+	}
+	if got := n.ChunkCount(); got != 0 {
+		t.Fatalf("buffer holds %d chunks after a rejected store", got)
+	}
+	if n.Stats().IntegrityRejects == 0 {
+		t.Fatal("integrity reject not counted")
+	}
+	if !n.storeChunk(3, good, "honest:1") {
+		t.Fatal("clean chunk rejected")
+	}
+
+	// Manifest-covered seq: the manifest hash is authoritative, so even a
+	// payload that passes the generator check is refused when it does not
+	// match the row (and vice versa the row authenticates an exact match).
+	src := soloNode(t, fastConfig(true))
+	d4 := MakeChunkPayload(n.cfg.Channel, 4)
+	src.addManifestEntrySource(4, d4)
+	rec, _ := src.manifestLookup(4)
+	if !n.noteManifestEntry(4, rec.hash[:], rec.tag[:]) {
+		t.Fatal("row rejected")
+	}
+	bad4 := append([]byte(nil), d4...)
+	bad4[len(bad4)-1] ^= 1
+	if n.storeChunk(4, bad4, "evil:1") {
+		t.Fatal("polluted chunk accepted against its manifest row")
+	}
+	if !n.storeChunk(4, d4, "honest:1") {
+		t.Fatal("manifest-matching chunk rejected")
+	}
+	if bad := n.VerifyBuffered(); bad != 0 {
+		t.Fatalf("VerifyBuffered found %d bad chunks in a clean buffer", bad)
+	}
+}
+
+// TestPunishPoisonerQuarantines pins the demerit state machine end to end
+// on one node: repeated pollution from one peer trips the quarantine
+// threshold, the peer drops out of provider usability, and the permanent
+// log records it.
+func TestPunishPoisonerQuarantines(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.QuarantineThreshold = 3
+	cfg.QuarantineTTL = 200 * time.Millisecond
+	n := soloNode(t, cfg)
+	good := MakeChunkPayload(n.cfg.Channel, 1)
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 1
+
+	evil := "evil:1"
+	// Every failed store charges the serving peer one demerit. Decay makes
+	// the score fractionally under the count on a real clock, so threshold
+	// 3 trips on the fourth charge.
+	for i := int64(0); i < 4; i++ {
+		if n.storeChunk(i, bad, evil) {
+			t.Fatalf("polluted chunk %d accepted", i)
+		}
+	}
+	if !n.health.Quarantined(evil) {
+		t.Fatal("4 demerits did not quarantine at threshold 3")
+	}
+	if n.providerUsable(evil) {
+		t.Fatal("quarantined peer still usable as provider")
+	}
+	if n.Stats().PeersQuarantined == 0 {
+		t.Fatal("quarantine not counted")
+	}
+	found := false
+	for _, a := range n.EverQuarantined() {
+		if a == evil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EverQuarantined missing %s: %v", evil, n.EverQuarantined())
+	}
+	// Quarantine expires; the permanent log does not.
+	waitFor(t, 2*time.Second, "quarantine expiry", func() bool {
+		return !n.health.Quarantined(evil)
+	})
+	if len(n.EverQuarantined()) == 0 {
+		t.Fatal("quarantine log forgot the offender after expiry")
+	}
+}
+
+// TestInsertRateLimit pins the per-holder token bucket: a spammer blows
+// through its burst and gets retryable Busy nacks, while a different
+// holder's bucket is untouched.
+func TestInsertRateLimit(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.InsertRate = 5 // burst 10
+	n := soloNode(t, cfg)
+	key := uint64(n.cfg.Channel.Ref(1).ID())
+	spammer := wire.Entry{ID: 1, Addr: "spam:1"}
+	acked, limited := 0, 0
+	for i := 0; i < 40; i++ {
+		resp := n.onInsert(&wire.Insert{Key: key, Seq: int64(i), Holder: spammer})
+		switch m := resp.(type) {
+		case *wire.Ack:
+			acked++
+		case *wire.Error:
+			if m.Code != wire.CodeBusy {
+				t.Fatalf("rate limit surfaced as %v, want CodeBusy", m.Code)
+			}
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("40 rapid inserts never rate limited at rate 5/s")
+	}
+	if acked > 12 {
+		t.Fatalf("%d inserts admitted, burst is 10", acked)
+	}
+	if n.Stats().InsertsRateLimited == 0 {
+		t.Fatal("rate-limited inserts not counted")
+	}
+	// An unrelated holder has its own bucket.
+	other := wire.Entry{ID: 2, Addr: "calm:1"}
+	if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 50, Holder: other}).(*wire.Ack); !ok {
+		t.Fatal("honest holder caught in the spammer's rate limit")
+	}
+}
+
+// TestInsertHorizonRejectsFutureSeqs pins the live-edge horizon: with a
+// verified head around seq 100, registrations claiming chunks far past the
+// edge are terminal-rejected while near-edge ones pass.
+func TestInsertHorizonRejectsFutureSeqs(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.InsertHorizon = 50
+	n := soloNode(t, cfg)
+	// Give the node a verified head: an authenticated manifest row at 100.
+	n.addManifestEntrySource(100, MakeChunkPayload(n.cfg.Channel, 100))
+	holder := wire.Entry{ID: 1, Addr: "prov:1"}
+	key := uint64(n.cfg.Channel.Ref(1).ID())
+
+	resp := n.onInsert(&wire.Insert{Key: key, Seq: 120, Holder: holder})
+	if _, ok := resp.(*wire.Ack); !ok {
+		t.Fatalf("near-edge insert rejected: %v", resp)
+	}
+	resp = n.onInsert(&wire.Insert{Key: key, Seq: 300, Holder: holder})
+	werr, ok := resp.(*wire.Error)
+	if !ok || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("seq 300 past horizon accepted: %v", resp)
+	}
+	if n.Stats().InsertsRejected == 0 {
+		t.Fatal("horizon rejection not counted")
+	}
+	// Unregisters are never capacity-checked: removing the bogus row (had
+	// it landed) must work even past the horizon.
+	resp = n.onInsert(&wire.Insert{Key: key, Seq: 300, Holder: holder, Unregister: true})
+	if _, ok := resp.(*wire.Ack); !ok {
+		t.Fatalf("unregister past horizon rejected: %v", resp)
+	}
+}
+
+// TestInsertProviderCap pins the per-entry growth bound: a full entry
+// refuses new providers but keeps refreshing registered ones.
+func TestInsertProviderCap(t *testing.T) {
+	cfg := fastConfig(false)
+	cfg.MaxProvidersPerSeq = 2
+	n := soloNode(t, cfg)
+	key := uint64(n.cfg.Channel.Ref(5).ID())
+	mk := func(i uint64) wire.Entry {
+		return wire.Entry{ID: i, Addr: string(rune('a'+i)) + ":1"}
+	}
+	for i := uint64(0); i < 2; i++ {
+		if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 5, Holder: mk(i)}).(*wire.Ack); !ok {
+			t.Fatalf("provider %d rejected under the cap", i)
+		}
+	}
+	resp := n.onInsert(&wire.Insert{Key: key, Seq: 5, Holder: mk(2)})
+	if werr, ok := resp.(*wire.Error); !ok || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("third provider accepted past cap 2: %v", resp)
+	}
+	// Refresh of a registered provider is a lease heartbeat, not growth.
+	if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 5, Holder: mk(0), LoadMilli: 100}).(*wire.Ack); !ok {
+		t.Fatal("refresh of an existing provider rejected by the cap")
+	}
+}
+
+// TestInsertQuarantinedHolderRejected: a quarantined peer cannot
+// re-register itself into the index, but can still be unregistered.
+func TestInsertQuarantinedHolderRejected(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	evil := wire.Entry{ID: 9, Addr: "evil:1"}
+	key := uint64(n.cfg.Channel.Ref(3).ID())
+	n.health.ForceQuarantine(evil.Addr)
+	resp := n.onInsert(&wire.Insert{Key: key, Seq: 3, Holder: evil})
+	if werr, ok := resp.(*wire.Error); !ok || werr.Code != wire.CodeBadRequest {
+		t.Fatalf("quarantined holder registered: %v", resp)
+	}
+	if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 3, Holder: evil, Unregister: true}).(*wire.Ack); !ok {
+		t.Fatal("unregister of a quarantined holder refused")
+	}
+}
+
+// TestPollutionReportsScrubAndQuarantine pins the coordinator-side path:
+// one accusation is noted but harmless, a second distinct reporter trips
+// force-quarantine and scrubs the target's index rows; duplicates from one
+// reporter never count twice; self-accusations are malformed; and the
+// coordinator never quarantines itself on hearsay.
+func TestPollutionReportsScrubAndQuarantine(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	evil := wire.Entry{ID: 66, Addr: "evil:1"}
+	key := uint64(n.cfg.Channel.Ref(8).ID())
+	if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 8, Holder: evil}).(*wire.Ack); !ok {
+		t.Fatal("setup insert failed")
+	}
+
+	report := func(from string) wire.Message {
+		return n.onPollutionReport(&wire.PollutionReport{
+			From: wire.Entry{ID: 1, Addr: from}, Key: key, Seq: 8, Target: evil,
+		})
+	}
+	// One reporter, twice: below the distinct threshold.
+	report("r1:1")
+	report("r1:1")
+	if n.health.Quarantined(evil.Addr) {
+		t.Fatal("single reporter (duplicated) tripped quarantine")
+	}
+	resp := n.onLookup(&wire.Lookup{Key: key, Seq: 8, MaxWait: 0})
+	if lr := resp.(*wire.LookupResp); len(lr.Providers) == 0 {
+		t.Fatal("provider scrubbed before the threshold")
+	}
+	// Second distinct reporter: trip.
+	report("r2:1")
+	if !n.health.Quarantined(evil.Addr) {
+		t.Fatal("two distinct reporters did not trip quarantine")
+	}
+	resp = n.onLookup(&wire.Lookup{Key: key, Seq: 8, MaxWait: 0})
+	if lr := resp.(*wire.LookupResp); len(lr.Providers) != 0 {
+		t.Fatalf("scrubbed provider still advertised: %v", lr.Providers)
+	}
+	if n.Stats().PollutionReportsSeen < 3 {
+		t.Fatalf("reports seen %d, want >= 3", n.Stats().PollutionReportsSeen)
+	}
+
+	// Self-accusation is malformed.
+	resp = n.onPollutionReport(&wire.PollutionReport{From: evil, Key: key, Seq: 8, Target: evil})
+	if _, ok := resp.(*wire.Error); !ok {
+		t.Fatalf("self-accusation accepted: %v", resp)
+	}
+	// Hearsay against this node itself never self-quarantines.
+	self := n.wireSelf()
+	n.onPollutionReport(&wire.PollutionReport{From: wire.Entry{ID: 1, Addr: "r1:1"}, Key: key, Seq: 8, Target: self})
+	n.onPollutionReport(&wire.PollutionReport{From: wire.Entry{ID: 2, Addr: "r2:1"}, Key: key, Seq: 8, Target: self})
+	if n.health.Quarantined(n.Addr()) {
+		t.Fatal("node quarantined itself on hearsay")
+	}
+}
+
+// TestLookupParksWhenAllProvidersQuarantined: an entry whose only
+// providers are quarantined answers like an empty one instead of handing
+// out known poisoners.
+func TestLookupParksWhenAllProvidersQuarantined(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	evil := wire.Entry{ID: 66, Addr: "evil:1"}
+	key := uint64(n.cfg.Channel.Ref(2).ID())
+	if _, ok := n.onInsert(&wire.Insert{Key: key, Seq: 2, Holder: evil}).(*wire.Ack); !ok {
+		t.Fatal("setup insert failed")
+	}
+	n.health.ForceQuarantine(evil.Addr)
+	resp := n.onLookup(&wire.Lookup{Key: key, Seq: 2, MaxWait: 0})
+	if lr := resp.(*wire.LookupResp); len(lr.Providers) != 0 {
+		t.Fatalf("lookup handed out a quarantined provider: %v", lr.Providers)
+	}
+}
+
+// TestLatencyContradictionClampsLyingLoad pins the viewer-side defense
+// against the lying load reporter: a provider claiming near-idle while its
+// observed latency towers over the cohort's best is discounted to
+// saturated and sorts behind an honestly-loaded fast peer.
+func TestLatencyContradictionClampsLyingLoad(t *testing.T) {
+	n := soloNode(t, fastConfig(false))
+	liar := wire.Entry{ID: 1, Addr: "liar:1"}
+	honest := wire.Entry{ID: 2, Addr: "honest:1"}
+	// Observed reality: the liar's serves take 120ms, the honest peer 4ms.
+	for i := 0; i < 8; i++ {
+		n.health.Observe(liar.Addr, 120*time.Millisecond, true)
+		n.health.Observe(honest.Addr, 4*time.Millisecond, true)
+	}
+	// Claimed load: liar says idle, honest admits 800/1000.
+	n.noteProviderLoad(liar.Addr, 0)
+	n.noteProviderLoad(honest.Addr, 800)
+
+	got := n.orderProvidersByLoad([]wire.Entry{liar, honest})
+	if got[0].Addr != honest.Addr {
+		t.Fatalf("lying idle claim captured the order: %v", got)
+	}
+	if n.Stats().LoadReportsClamped == 0 {
+		t.Fatal("contradiction clamp not counted")
+	}
+}
+
+// TestPoisonerQuarantinedEndToEnd is the fault-matrix acceptance scenario
+// for the pollution defense: the only provider poisons every chunk. The
+// viewer must reject every payload at the choke point (buffer stays
+// empty), quarantine the poisoner, and — once the poison stops and the
+// quarantine lapses — complete the stream with a fully verified buffer.
+func TestPoisonerQuarantinedEndToEnd(t *testing.T) {
+	const seed = 20260808
+	f := transport.NewFabric()
+	in := faulty.NewInjector(seed)
+
+	cfg := resilientConfig(true)
+	cfg.Channel.Count = 12
+	src, err := NewNode(cfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := resilientConfig(false)
+	vcfg.Channel.Count = 12
+	vcfg.QuarantineTTL = 2 * time.Second
+	v, err := NewNode(vcfg, faultyAttach(f, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Join(src.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	in.SetPoisoner(src.Addr(), 1)
+	src.Start()
+	v.Start()
+	defer src.Close()
+	defer v.Close()
+
+	waitFor(t, 30*time.Second, "poisoned transfers to quarantine the source", func() bool {
+		s := v.Stats()
+		return s.PeersQuarantined >= 1 && s.IntegrityRejects >= 3
+	})
+	if got := v.ChunkCount(); got != 0 {
+		t.Fatalf("viewer buffered %d chunks from a full-time poisoner", got)
+	}
+	quarantined := false
+	for _, a := range v.EverQuarantined() {
+		if a == src.Addr() {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("quarantine log %v does not name the poisoner %s", v.EverQuarantined(), src.Addr())
+	}
+
+	// Poison stops; quarantine and blacklist lapse; the stream completes
+	// and everything buffered verifies.
+	in.SetPoisoner(src.Addr(), 0)
+	want := int(vcfg.Channel.Count)
+	waitFor(t, 60*time.Second, "viewer to complete the stream after the poison clears", func() bool {
+		return v.ChunkCount() >= want
+	})
+	if bad := v.VerifyBuffered(); bad != 0 {
+		t.Fatalf("%d polluted chunks in the final buffer", bad)
+	}
+}

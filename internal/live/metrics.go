@@ -84,6 +84,21 @@ type liveMetrics struct {
 	splitsDetected *telemetry.Counter
 	ringMerges     *telemetry.Counter
 
+	// Pollution defense (integrity.go): chunks dropped at the buffer choke
+	// point, peers this node quarantined, index inserts rejected by the
+	// hardening gate (rate limit counted separately), pollution reports in
+	// both directions, load reports the contradiction clamps discounted,
+	// and manifest traffic.
+	integrityRejects     *telemetry.Counter
+	peersQuarantined     *telemetry.Counter
+	insertsRateLimited   *telemetry.Counter
+	insertsRejected      *telemetry.Counter
+	pollutionReportsSent *telemetry.Counter
+	pollutionReportsSeen *telemetry.Counter
+	loadReportsClamped   *telemetry.Counter
+	manifestFetches      *telemetry.Counter
+	manifestServes       *telemetry.Counter
+
 	// chunkFetchSeconds is the per-chunk acquisition latency — from the
 	// moment a viewer starts working on a chunk until it is buffered,
 	// lookup wait and provider failovers included. This is the live
@@ -164,6 +179,16 @@ func newLiveMetrics(reg *telemetry.Registry, tr *telemetry.Trace) *liveMetrics {
 		splitsDetected: reg.Counter("dco_live_splits_detected_total"),
 		ringMerges:     reg.Counter("dco_live_ring_merges_total"),
 
+		integrityRejects:     reg.Counter("dco_live_integrity_rejects_total"),
+		peersQuarantined:     reg.Counter("dco_live_peers_quarantined_total"),
+		insertsRateLimited:   reg.Counter("dco_live_inserts_rate_limited_total"),
+		insertsRejected:      reg.Counter("dco_live_inserts_rejected_total"),
+		pollutionReportsSent: reg.Counter("dco_live_pollution_reports_sent_total"),
+		pollutionReportsSeen: reg.Counter("dco_live_pollution_reports_total"),
+		loadReportsClamped:   reg.Counter("dco_live_load_reports_discounted_total"),
+		manifestFetches:      reg.Counter("dco_live_manifest_fetches_total"),
+		manifestServes:       reg.Counter("dco_live_manifest_serves_total"),
+
 		chunkFetchSeconds: reg.Histogram("dco_live_chunk_fetch_seconds", telemetry.DefLatencyBuckets),
 		lookupSeconds:     reg.Histogram("dco_live_lookup_seconds", telemetry.DefLatencyBuckets),
 		replicationLag:    reg.Histogram("dco_live_replication_lag_seconds", telemetry.DefLatencyBuckets),
@@ -226,6 +251,19 @@ func (n *Node) registerGauges() {
 	})
 	reg.GaugeFunc("dco_live_suspected_peers", func() float64 {
 		return float64(n.health.SuspectedCount())
+	})
+	reg.GaugeFunc("dco_live_quarantined_peers", func() float64 {
+		return float64(n.health.QuarantinedCount())
+	})
+	// The registry has no labels, so the per-peer integrity demerit gauge
+	// is surfaced as the worst score across peers — enough to alarm on.
+	reg.GaugeFunc("dco_live_integrity_demerits_max", func() float64 {
+		return n.health.MaxIntegrityScore()
+	})
+	reg.GaugeFunc("dco_live_manifest_entries", func() float64 {
+		n.manMu.Lock()
+		defer n.manMu.Unlock()
+		return float64(len(n.manifest))
 	})
 	reg.GaugeFunc("dco_live_replica_owners", func() float64 {
 		owners, _ := n.ReplicaCounts()

@@ -207,6 +207,51 @@ type Config struct {
 	// (one conclusive error contributes 1.0). 0 derives 3.
 	HealthSuspect float64
 
+	// ManifestWindow bounds how many chunk-manifest rows this node caches
+	// (integrity.go): the source mints a row per generated chunk; every
+	// node folds in rows learned from ManifestResps and replication.
+	// 0 derives 4096. Rows age out oldest-first as the stream advances.
+	ManifestWindow int
+
+	// QuarantineThreshold is the integrity demerit score (one unit per
+	// chunk that failed verification) at which a peer is quarantined from
+	// provider selection entirely. 0 derives 3; negative disables
+	// quarantine (demerits are still counted).
+	QuarantineThreshold float64
+
+	// QuarantineTTL is how long a quarantined peer stays excluded. 0
+	// derives 30s.
+	QuarantineTTL time.Duration
+
+	// IntegrityHalfLife is the time-decay half-life of integrity demerits.
+	// Unlike suspicion, good responses never decay integrity — only time
+	// does, so selective poisoners cannot launder their record. 0 derives
+	// 30s.
+	IntegrityHalfLife time.Duration
+
+	// InsertRate caps how many index Inserts per second a coordinator
+	// accepts from one holder address (token bucket, burst 2x) — the
+	// index-spam defense. 0 derives 200; negative disables the limit.
+	InsertRate float64
+
+	// InsertHorizon rejects provider registrations for seqs further than
+	// this many chunks past the coordinator's best live-edge estimate
+	// (its own latest generated/verified-manifest seq): nobody can hold a
+	// chunk the source has not produced. 0 derives 1024; negative
+	// disables the check.
+	InsertHorizon int
+
+	// MaxProvidersPerSeq caps the provider rows one index entry holds;
+	// inserts beyond it are rejected (a spammer cannot grow an entry
+	// without bound). 0 derives 128; negative disables the cap.
+	MaxProvidersPerSeq int
+
+	// PollutionReporters is how many distinct reporters must accuse a
+	// peer of serving polluted chunks before the coordinator quarantines
+	// it and scrubs its index entries — one slanderer is never enough.
+	// 0 derives 2.
+	PollutionReporters int
+
 	// IOReadTimeout / IOWriteTimeout override the transport's server-side
 	// per-exchange read deadline and reply write deadline when the
 	// transport supports it (transport.TCP does). Zero keeps the
@@ -323,6 +368,25 @@ type Node struct {
 	censusCursor uint64
 	merging      atomic.Bool
 
+	// Manifest cache (integrity.go): the source-anchored seq → payload
+	// hash rows every received chunk is verified against. Guarded by
+	// manMu, not n.mu — verification runs on the hot fetch path. Lock
+	// order: n.mu may be taken before manMu, never the reverse.
+	manMu      sync.Mutex
+	manifest   map[int64]manifestRec
+	manHead    int64     // exclusive upper bound of verified coverage
+	manFetchAt time.Time // last ad-triggered background fetch
+
+	// Index-pollution defense state (integrity.go), guarded by n.mu like
+	// the index it protects: per-holder insert token buckets, the
+	// pollution-report tally per accused peer, and the set of peers this
+	// node ever quarantined (soak oracles read it; quarantines expire,
+	// the log does not).
+	insRate    map[string]*insertBucket
+	pollution  map[string]map[string]time.Time
+	reportedAt map[string]time.Time
+	quarLog    map[string]bool
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -376,6 +440,17 @@ type Stats struct {
 	IndexInsertBytes uint64
 	ReplicateBytes   uint64
 	DigestBytes      uint64
+	// Byzantine-defense counters (integrity.go).
+	IntegrityRejects     uint64 // received chunks dropped by verification
+	PeersQuarantined     uint64 // quarantine entries (demerit-tripped + report-tripped)
+	QuarantinedPeers     uint64 // peers currently under quarantine
+	InsertsRateLimited   uint64 // index inserts turned away by the per-holder rate limit
+	InsertsRejected      uint64 // index inserts rejected (horizon, provider cap, quarantined holder)
+	PollutionReportsSent uint64 // accusations this node sent to coordinators
+	PollutionReportsSeen uint64 // accusations this node received as a coordinator
+	LoadReportsClamped   uint64 // LoadMilli reports discounted as self-contradictory
+	ManifestFetches      uint64 // ManifestReq calls this node issued
+	ManifestServes       uint64 // ManifestReqs this node answered
 }
 
 // provRec is one provider registration in an index entry: the provider's
@@ -498,6 +573,21 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 			burst = quarter
 		}
 	}
+	if cfg.ManifestWindow == 0 {
+		cfg.ManifestWindow = 4096
+	}
+	if cfg.InsertRate == 0 {
+		cfg.InsertRate = 200
+	}
+	if cfg.InsertHorizon == 0 {
+		cfg.InsertHorizon = 1024
+	}
+	if cfg.MaxProvidersPerSeq == 0 {
+		cfg.MaxProvidersPerSeq = 128
+	}
+	if cfg.PollutionReporters <= 0 {
+		cfg.PollutionReporters = 2
+	}
 	n := &Node{
 		cfg:        cfg,
 		chunks:     make(map[int64][]byte),
@@ -506,6 +596,10 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 		replicas:   make(map[string]*replicaSet),
 		blacklist:  make(map[string]time.Time),
 		provLoad:   make(map[string]provLoadRec),
+		manifest:   make(map[int64]manifestRec),
+		insRate:    make(map[string]*insertBucket),
+		pollution:  make(map[string]map[string]time.Time),
+		quarLog:    make(map[string]bool),
 		pace:       newPacer(cfg.UpBps, burst, cfg.AdmitQueue),
 		closed:     make(chan struct{}),
 		latestGen:  -1,
@@ -517,8 +611,11 @@ func NewNode(cfg Config, attach func(transport.Handler) (transport.Transport, er
 	n.tr = tr
 	n.self = dht.Member{ID: dht.IDOf(tr.Addr()), Addr: tr.Addr()}
 	n.health = health.NewTracker(health.Config{
-		HalfLife:         cfg.HealthHalfLife,
-		SuspectThreshold: cfg.HealthSuspect,
+		HalfLife:            cfg.HealthHalfLife,
+		SuspectThreshold:    cfg.HealthSuspect,
+		IntegrityHalfLife:   cfg.IntegrityHalfLife,
+		QuarantineThreshold: cfg.QuarantineThreshold,
+		QuarantineTTL:       cfg.QuarantineTTL,
 	})
 	// Feed health scoring from the transport's per-call observer hook when
 	// the transport (or its fault-injecting decorator) offers one. The
@@ -606,6 +703,16 @@ func (n *Node) Stats() Stats {
 		IndexInsertBytes:     n.lm.indexInsertBytes.Value(),
 		ReplicateBytes:       n.lm.replicateBytes.Value(),
 		DigestBytes:          n.lm.digestBytes.Value(),
+		IntegrityRejects:     n.lm.integrityRejects.Value(),
+		PeersQuarantined:     n.lm.peersQuarantined.Value(),
+		QuarantinedPeers:     uint64(n.health.QuarantinedCount()),
+		InsertsRateLimited:   n.lm.insertsRateLimited.Value(),
+		InsertsRejected:      n.lm.insertsRejected.Value(),
+		PollutionReportsSent: n.lm.pollutionReportsSent.Value(),
+		PollutionReportsSeen: n.lm.pollutionReportsSeen.Value(),
+		LoadReportsClamped:   n.lm.loadReportsClamped.Value(),
+		ManifestFetches:      n.lm.manifestFetches.Value(),
+		ManifestServes:       n.lm.manifestServes.Value(),
 	}
 }
 

@@ -184,7 +184,7 @@ func TestSelectSkipsSaturatedProviders(t *testing.T) {
 		{ent: wire.Entry{Addr: "busy:1"}, loadMilli: 2000},
 		{ent: wire.Entry{Addr: "idle:2"}, loadMilli: 150},
 	}
-	got := e.selectLocked(3)
+	got := e.selectLocked(3, nil)
 	if len(got) != 2 {
 		t.Fatalf("selected %d providers, want the 2 unsaturated ones: %v", len(got), got)
 	}
@@ -203,7 +203,7 @@ func TestSelectAllSaturatedDegrades(t *testing.T) {
 		{ent: wire.Entry{Addr: "busy:1"}, loadMilli: 3000},
 		{ent: wire.Entry{Addr: "busy:2"}, loadMilli: 1500},
 	}
-	got := e.selectLocked(3)
+	got := e.selectLocked(3, nil)
 	if len(got) != 2 {
 		t.Fatalf("selected %d providers, want 2", len(got))
 	}
@@ -224,7 +224,7 @@ func TestSelectCohortRotation(t *testing.T) {
 	}
 	seen := make(map[string]bool)
 	for i := 0; i < 3; i++ {
-		got := e.selectLocked(1)
+		got := e.selectLocked(1, nil)
 		if len(got) != 1 {
 			t.Fatalf("selected %d providers, want 1", len(got))
 		}
@@ -251,7 +251,7 @@ func TestSelectExplorationEscapesIdleCohort(t *testing.T) {
 	}
 	seenHealthy := make(map[string]bool)
 	for i := 0; i < 4; i++ {
-		got := e.selectLocked(3)
+		got := e.selectLocked(3, nil)
 		if len(got) != 3 {
 			t.Fatalf("selected %d providers, want 3: %v", len(got), got)
 		}

@@ -43,6 +43,10 @@ func (n *Node) serve(from string, req wire.Message) wire.Message {
 		return n.onDigestReq(m)
 	case *wire.CensusProbe:
 		return n.onCensusProbe(m)
+	case *wire.ManifestReq:
+		return n.onManifestReq(m)
+	case *wire.PollutionReport:
+		return n.onPollutionReport(m)
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Msg: "unsupported request"}
 	}
@@ -78,10 +82,16 @@ func (n *Node) onLookup(m *wire.Lookup) wire.Message {
 		}
 		if len(e.providers) > 0 {
 			// Capacity-weighted selection (admission.go): skip saturated
-			// providers, rotate through the low-load cohort.
-			resp := &wire.LookupResp{Seq: m.Seq, Providers: e.selectLocked(3)}
-			n.mu.Unlock()
-			return resp
+			// providers, rotate through the low-load cohort; quarantined
+			// providers are excluded outright (integrity.go).
+			providers := e.selectLocked(3, n.health.Quarantined)
+			if len(providers) > 0 {
+				resp := &wire.LookupResp{Seq: m.Seq, Providers: providers}
+				n.mu.Unlock()
+				return resp
+			}
+			// Every registered provider is quarantined: park like an
+			// empty entry — a clean one may register before the deadline.
 		}
 		wake := e.wake
 		n.mu.Unlock()
@@ -117,6 +127,13 @@ func (n *Node) onInsert(m *wire.Insert) wire.Message {
 	n.lm.insertsServed.Inc()
 	n.noteMembersLocked(m.Holder)
 	e := n.indexEntryLocked(m.Seq)
+	// Index hardening (integrity.go): rate limits, quarantined holders,
+	// the live-edge horizon, and the per-entry provider cap all run before
+	// the index mutates.
+	if werr := n.insertAllowedLocked(m, e); werr != nil {
+		return werr
+	}
+	n.noteManifestAd(m.Holder.Addr, m.ManifestHead)
 	if m.Unregister {
 		for i, pr := range e.providers {
 			if pr.ent.Addr == m.Holder.Addr {
@@ -161,7 +178,7 @@ func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
 	if !ok {
 		n.lm.chunksMissed.Inc()
 		n.traceEvent("chunk.miss", seqDetail(m.Seq))
-		return &wire.ChunkResp{Seq: m.Seq, LoadMilli: n.reportLoadMilli()}
+		return n.stampManifestAd(&wire.ChunkResp{Seq: m.Seq, LoadMilli: n.reportLoadMilli()})
 	}
 	// The requester declares its patience; zero (old clients, direct
 	// callers) means "the server's default". Clamp to AdmitMaxWait so a
@@ -190,12 +207,12 @@ func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
 			n.lm.deadlineSheds.Inc()
 		}
 		n.traceEvent("chunk.shed", fmt.Sprintf("seq=%d retry=%s", m.Seq, retry))
-		return &wire.ChunkResp{
+		return n.stampManifestAd(&wire.ChunkResp{
 			Seq:          m.Seq,
 			Busy:         true,
 			RetryAfterMs: uint32((retry + time.Millisecond - 1) / time.Millisecond),
 			LoadMilli:    n.reportLoadMilli(),
-		}
+		})
 	}
 	if wait > 0 {
 		n.lm.pacedServes.Inc()
@@ -210,7 +227,7 @@ func (n *Node) onGetChunk(m *wire.GetChunk) wire.Message {
 	}
 	n.lm.chunksServed.Inc()
 	n.traceEvent("chunk.serve", seqDetail(m.Seq))
-	return &wire.ChunkResp{Seq: m.Seq, OK: true, Data: data, LoadMilli: n.reportLoadMilli()}
+	return n.stampManifestAd(&wire.ChunkResp{Seq: m.Seq, OK: true, Data: data, LoadMilli: n.reportLoadMilli()})
 }
 
 func (n *Node) onHandoff(m *wire.Handoff) wire.Message {

@@ -75,10 +75,20 @@ func (n *Node) enqueueReplicaLocked(key uint64, seq int64, holder wire.Entry, up
 	if len(n.replPending) >= maxReplPending {
 		n.replPending = n.replPending[1:]
 	}
-	n.replPending = append(n.replPending, wire.ReplicaOp{
+	op := wire.ReplicaOp{
 		Key: key, Seq: seq, Holder: holder, UpBps: upBps,
 		TTLMillis: ttlMillis(expire, time.Now()), Unregister: unregister,
-	})
+	}
+	// Piggyback the seq's manifest row (integrity.go) so manifests
+	// replicate with the chunk index and survive coordinator failover.
+	// Lock order n.mu → manMu is the sanctioned direction.
+	if !unregister {
+		if rec, ok := n.manifestLookup(seq); ok {
+			op.ManifestHash = append([]byte(nil), rec.hash[:]...)
+			op.ManifestTag = append([]byte(nil), rec.tag[:]...)
+		}
+	}
+	n.replPending = append(n.replPending, op)
 }
 
 // replTargetsLocked returns up to Replicas distinct live members that
@@ -151,6 +161,12 @@ func (n *Node) onReplicateBatch(m *wire.ReplicateBatch) wire.Message {
 	var reset map[int64]bool
 	for i := range m.Ops {
 		op := &m.Ops[i]
+		// Fold in the piggybacked manifest row first (tag-verified inside;
+		// a bogus row is simply ignored) — replicas learn manifest coverage
+		// with the index rows they mirror.
+		if len(op.ManifestHash) > 0 {
+			n.noteManifestEntry(op.Seq, op.ManifestHash, op.ManifestTag)
+		}
 		// OwnsSettled, not Owns: ownership here requires positive routing
 		// evidence — a freshly joined node with empty tables would
 		// otherwise claim every key it sees.

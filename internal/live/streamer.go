@@ -26,6 +26,9 @@ func (n *Node) generateLoop() {
 			return
 		}
 		data := MakeChunkPayload(n.cfg.Channel, seq)
+		// Mint the chunk's manifest row before the chunk is visible
+		// anywhere: no consumer should ever see a chunk its row lags.
+		n.addManifestEntrySource(seq, data)
 		n.mu.Lock()
 		n.chunks[seq] = data
 		n.latestGen = seq
@@ -109,6 +112,9 @@ func (n *Node) insertIndex(seq int64) {
 		// heartbeat coordinators weight provider selection by.
 		LoadMilli: n.reportLoadMilli(),
 	}
+	// Piggybacked manifest-coverage ad (integrity.go): how viewers and
+	// coordinators learn the current window without extra round-trips.
+	msg.ManifestHead, msg.ManifestDigest = n.manifestAd()
 	for attempt := 0; attempt < 2; attempt++ {
 		owner, _, err := n.FindOwner(key)
 		if err == nil {
@@ -246,7 +252,16 @@ func (n *Node) FetchChunk(seq int64) error {
 			if !ok {
 				continue
 			}
-			n.noteProviderLoad(from, cr.LoadMilli)
+			// Busy-contradiction clamp: a provider shedding for load while
+			// advertising itself near-idle is contradicting its own nack —
+			// cache it as saturated so the lie cannot buy it traffic.
+			load := cr.LoadMilli
+			if cr.Busy && load < loadSaturatedMilli {
+				load = loadSaturatedMilli
+				n.lm.loadReportsClamped.Inc()
+			}
+			n.noteProviderLoad(from, load)
+			n.noteManifestAd(from, cr.ManifestHead)
 			if !cr.OK {
 				if cr.Busy {
 					// Busy is an admission nack from a live provider: honor
@@ -262,12 +277,15 @@ func (n *Node) FetchChunk(seq int64) error {
 				}
 				continue
 			}
-			if !VerifyChunkPayload(n.cfg.Channel, seq, cr.Data) {
+			// Cover seq with a manifest row if possible (best effort — the
+			// generator check backstops uncovered seqs), then push the
+			// payload through the buffer choke point: storeChunk verifies,
+			// and a polluted payload charges the provider (integrity.go).
+			n.ensureManifest(seq, from)
+			if !n.storeChunk(seq, cr.Data, from) {
 				lastErr = fmt.Errorf("live: chunk %d failed verification", seq)
-				n.blacklistProvider(from)
 				continue
 			}
-			n.storeChunk(seq, cr.Data)
 			n.registerChunk(seq)
 			n.lm.chunkFetchSeconds.Observe(time.Since(start).Seconds())
 			n.traceEvent("chunk.fetch", seqDetail(seq)+" peer="+from)
@@ -477,8 +495,12 @@ func (n *Node) blacklistProvider(addr string) {
 }
 
 // providerUsable reports whether addr may be asked for chunks (expired
-// cooldowns are cleaned up lazily here).
+// cooldowns are cleaned up lazily here). Quarantined peers are never
+// usable — integrity failures are categorical, not a cooldown.
 func (n *Node) providerUsable(addr string) bool {
+	if n.health.Quarantined(addr) {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	until, ok := n.blacklist[addr]
@@ -638,7 +660,21 @@ func (n *Node) emptySecondOpinion(fallbacks []wire.Entry, key uint64, seq int64,
 	return nil
 }
 
-func (n *Node) storeChunk(seq int64, data []byte) {
+// storeChunk is the buffer choke point: the ONLY path by which a received
+// chunk enters the buffer map (and thereby becomes re-servable). It
+// verifies the payload first — against the manifest when covered, the
+// deterministic generator otherwise — and refuses polluted bytes, charging
+// the serving peer when one is named (from may be "" for local/test
+// stores, which skips the punishment but never the verification).
+func (n *Node) storeChunk(seq int64, data []byte, from string) bool {
+	if !n.chunkOK(seq, data) {
+		n.lm.integrityRejects.Inc()
+		n.traceEvent("chunk.reject", seqDetail(seq)+" peer="+from)
+		if from != "" {
+			n.punishPoisoner(from, seq)
+		}
+		return false
+	}
 	n.mu.Lock()
 	_, dup := n.chunks[seq]
 	if !dup {
@@ -655,6 +691,7 @@ func (n *Node) storeChunk(seq int64, data []byte) {
 		cb(seq, data)
 	}
 	n.unregisterExpired(expired)
+	return true
 }
 
 // trimActiveWindowLocked drops chunks that fell out of the active window

@@ -35,6 +35,13 @@ func FuzzReadMessage(f *testing.F) {
 		&CensusResp{From: e, Digest: 6, Members: []Entry{e}},
 		&KadFindNode{From: e, Key: 12, Refresh: true},
 		&KadFindNodeResp{From: e, Closest: []Entry{e}},
+		&Insert{Key: 5, Seq: 6, Holder: e, UpBps: 7, ManifestHead: 80, ManifestDigest: 0x1234},
+		&ChunkResp{Seq: 10, OK: true, Data: []byte{1, 2}, ManifestHead: 81, ManifestDigest: 0x5678},
+		&ReplicateBatch{Owner: e, Ops: []ReplicaOp{{Key: 1, Seq: 2, Holder: e,
+			ManifestHash: bytes.Repeat([]byte{9}, 32), ManifestTag: bytes.Repeat([]byte{8}, 32)}}},
+		&ManifestReq{FromSeq: 4, Max: 128},
+		&ManifestResp{Head: 5, Entries: []ManifestEntry{{Seq: 4, Hash: bytes.Repeat([]byte{6}, 32), Tag: bytes.Repeat([]byte{7}, 32)}}},
+		&PollutionReport{From: e, Key: 3, Seq: 4, Target: e},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

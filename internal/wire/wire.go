@@ -42,6 +42,9 @@ const (
 	KindCensusResp
 	KindKadFindNode
 	KindKadFindNodeResp
+	KindManifestReq
+	KindManifestResp
+	KindPollutionReport
 )
 
 // MaxFrame bounds a frame (type byte + payload). Chunks dominate; 4 MiB
@@ -193,6 +196,13 @@ type Insert struct {
 	BufCount   int64
 	LoadMilli  uint32
 	Unregister bool
+	// ManifestHead/ManifestDigest piggyback the sender's chunk-manifest
+	// coverage (see ManifestResp): Head is the exclusive upper bound of
+	// the seqs its manifest covers (0 = none), Digest a cheap fingerprint
+	// of the newest entry so divergent manifests are detectable without a
+	// fetch. Advisory only — never trusted for anything destructive.
+	ManifestHead   int64
+	ManifestDigest uint64
 }
 
 // GetChunk requests chunk data from a provider. WaitMs is how long the
@@ -220,6 +230,11 @@ type ChunkResp struct {
 	RetryAfterMs uint32
 	LoadMilli    uint32
 	Data         []byte
+	// ManifestHead/ManifestDigest mirror the fields on Insert: the
+	// provider's manifest coverage, so viewers learn the current window
+	// from the responses they are already receiving.
+	ManifestHead   int64
+	ManifestDigest uint64
 }
 
 // HandoffEntry is one chunk's index rows in a Handoff.
@@ -252,6 +267,12 @@ type ReplicaOp struct {
 	UpBps      int64
 	TTLMillis  uint32
 	Unregister bool
+	// ManifestHash/ManifestTag carry the owner's manifest entry for Seq
+	// (empty when the owner has none), so manifests replicate with the
+	// chunk index and survive coordinator failover. Receivers verify the
+	// tag before caching — a replica never stores an unauthenticated row.
+	ManifestHash []byte
+	ManifestTag  []byte
 }
 
 // ReplicateBatch mirrors a batch of index mutations from Owner onto a
@@ -284,6 +305,42 @@ type DigestReq struct {
 // the owner follows up with a Full ReplicateBatch for them.
 type DigestResp struct {
 	Need []int64
+}
+
+// ManifestEntry is one row of the source's chunk manifest: the SHA-256 of
+// the chunk payload plus the source's authenticator tag over (seq, hash).
+// The tag lets any peer relay and cache rows it did not mint — a receiver
+// verifies the tag against the channel parameters before trusting the row.
+type ManifestEntry struct {
+	Seq  int64
+	Hash []byte // SHA-256 of the chunk payload (32 bytes)
+	Tag  []byte // channel-keyed authenticator over seq|hash (32 bytes)
+}
+
+// ManifestReq asks a peer for its manifest rows covering seqs in
+// [FromSeq, FromSeq+Max). Peers answer with whatever subset they hold.
+type ManifestReq struct {
+	FromSeq int64
+	Max     uint32
+}
+
+// ManifestResp returns manifest rows. Head is the exclusive upper bound of
+// the responder's total coverage (it may exceed the rows returned).
+type ManifestResp struct {
+	Head    int64
+	Entries []ManifestEntry
+}
+
+// PollutionReport accuses Target of serving a chunk under Key/Seq whose
+// payload failed integrity verification. From identifies the reporter
+// explicitly (transport source addresses are ephemeral over TCP). The
+// coordinator quarantines Target once enough distinct reporters agree —
+// a single report is never enough, so one slanderer cannot evict a peer.
+type PollutionReport struct {
+	From   Entry
+	Key    uint64
+	Seq    int64
+	Target Entry
 }
 
 // CensusProbe is the ring census beacon: From asks a cached member (usually
@@ -453,6 +510,12 @@ func New(k Kind) (Message, error) {
 		return &KadFindNode{}, nil
 	case KindKadFindNodeResp:
 		return &KadFindNodeResp{}, nil
+	case KindManifestReq:
+		return &ManifestReq{}, nil
+	case KindManifestResp:
+		return &ManifestResp{}, nil
+	case KindPollutionReport:
+		return &PollutionReport{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, k)
 	}
@@ -560,6 +623,16 @@ func (r *reader) bytes() []byte {
 }
 
 func (r *reader) str() string { return string(r.bytes()) }
+
+// bytesCopy is bytes() with an owned copy, for fields retained past the
+// frame buffer's lifetime (nil when empty, so round-trips DeepEqual).
+func (r *reader) bytesCopy() []byte {
+	v := r.bytes()
+	if len(v) == 0 {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
 
 func (r *reader) entry() Entry {
 	return Entry{ID: r.u64(), Addr: r.str()}
@@ -692,7 +765,9 @@ func (m *Insert) encode(b []byte) []byte {
 	b = putI64(b, m.UpBps)
 	b = putI64(b, m.BufCount)
 	b = putU32(b, m.LoadMilli)
-	return putBool(b, m.Unregister)
+	b = putBool(b, m.Unregister)
+	b = putI64(b, m.ManifestHead)
+	return putU64(b, m.ManifestDigest)
 }
 func (m *Insert) decode(r *reader) error {
 	m.Key = r.u64()
@@ -702,6 +777,8 @@ func (m *Insert) decode(r *reader) error {
 	m.BufCount = r.i64()
 	m.LoadMilli = r.u32()
 	m.Unregister = r.boolean()
+	m.ManifestHead = r.i64()
+	m.ManifestDigest = r.u64()
 	return r.err
 }
 
@@ -725,7 +802,9 @@ func (m *ChunkResp) encode(b []byte) []byte {
 	b = putBool(b, m.Busy)
 	b = putU32(b, m.RetryAfterMs)
 	b = putU32(b, m.LoadMilli)
-	return putBytes(b, m.Data)
+	b = putBytes(b, m.Data)
+	b = putI64(b, m.ManifestHead)
+	return putU64(b, m.ManifestDigest)
 }
 func (m *ChunkResp) decode(r *reader) error {
 	m.Seq = r.i64()
@@ -734,6 +813,8 @@ func (m *ChunkResp) decode(r *reader) error {
 	m.RetryAfterMs = r.u32()
 	m.LoadMilli = r.u32()
 	m.Data = append([]byte(nil), r.bytes()...)
+	m.ManifestHead = r.i64()
+	m.ManifestDigest = r.u64()
 	return r.err
 }
 
@@ -791,6 +872,8 @@ func (m *ReplicateBatch) encode(b []byte) []byte {
 		b = putI64(b, op.UpBps)
 		b = putU32(b, op.TTLMillis)
 		b = putBool(b, op.Unregister)
+		b = putBytes(b, op.ManifestHash)
+		b = putBytes(b, op.ManifestTag)
 	}
 	return b
 }
@@ -798,7 +881,7 @@ func (m *ReplicateBatch) decode(r *reader) error {
 	m.Owner = r.entry()
 	m.Full = r.boolean()
 	n := r.u32()
-	if r.err != nil || n > MaxFrame/41 { // each op is >= 41 bytes encoded
+	if r.err != nil || n > MaxFrame/49 { // each op is >= 49 bytes encoded
 		r.fail()
 		return r.err
 	}
@@ -814,6 +897,8 @@ func (m *ReplicateBatch) decode(r *reader) error {
 		op.UpBps = r.i64()
 		op.TTLMillis = r.u32()
 		op.Unregister = r.boolean()
+		op.ManifestHash = r.bytesCopy()
+		op.ManifestTag = r.bytesCopy()
 		m.Ops = append(m.Ops, op)
 	}
 	return r.err
@@ -922,5 +1007,63 @@ func (m *KadFindNodeResp) encode(b []byte) []byte {
 func (m *KadFindNodeResp) decode(r *reader) error {
 	m.From = r.entry()
 	m.Closest = r.entries()
+	return r.err
+}
+
+func (m *ManifestReq) Kind() Kind { return KindManifestReq }
+func (m *ManifestReq) encode(b []byte) []byte {
+	b = putI64(b, m.FromSeq)
+	return putU32(b, m.Max)
+}
+func (m *ManifestReq) decode(r *reader) error {
+	m.FromSeq = r.i64()
+	m.Max = r.u32()
+	return r.err
+}
+
+func (m *ManifestResp) Kind() Kind { return KindManifestResp }
+func (m *ManifestResp) encode(b []byte) []byte {
+	b = putI64(b, m.Head)
+	b = putU32(b, uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = putI64(b, e.Seq)
+		b = putBytes(b, e.Hash)
+		b = putBytes(b, e.Tag)
+	}
+	return b
+}
+func (m *ManifestResp) decode(r *reader) error {
+	m.Head = r.i64()
+	n := r.u32()
+	if r.err != nil || n > MaxFrame/80 { // each entry is >= 80 bytes encoded
+		r.fail()
+		return r.err
+	}
+	if n == 0 {
+		return r.err
+	}
+	m.Entries = make([]ManifestEntry, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var e ManifestEntry
+		e.Seq = r.i64()
+		e.Hash = r.bytesCopy()
+		e.Tag = r.bytesCopy()
+		m.Entries = append(m.Entries, e)
+	}
+	return r.err
+}
+
+func (m *PollutionReport) Kind() Kind { return KindPollutionReport }
+func (m *PollutionReport) encode(b []byte) []byte {
+	b = putEntry(b, m.From)
+	b = putU64(b, m.Key)
+	b = putI64(b, m.Seq)
+	return putEntry(b, m.Target)
+}
+func (m *PollutionReport) decode(r *reader) error {
+	m.From = r.entry()
+	m.Key = r.u64()
+	m.Seq = r.i64()
+	m.Target = r.entry()
 	return r.err
 }

@@ -70,6 +70,21 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&KadFindNode{From: e2, Key: 0},
 		&KadFindNodeResp{From: e2, Closest: []Entry{e1, e2}},
 		&KadFindNodeResp{From: e1},
+		&Insert{Key: 1, Seq: 2, Holder: e1, UpBps: 100, ManifestHead: 77, ManifestDigest: 0xABCDEF01},
+		&ChunkResp{Seq: 5, OK: true, Data: []byte{1}, ManifestHead: 42, ManifestDigest: 0xFEED},
+		&ReplicateBatch{Owner: e1, Ops: []ReplicaOp{
+			{Key: 7, Seq: 3, Holder: e2, UpBps: 500, TTLMillis: 45000,
+				ManifestHash: bytes.Repeat([]byte{0xAA}, 32), ManifestTag: bytes.Repeat([]byte{0xBB}, 32)},
+		}},
+		&ManifestReq{FromSeq: 100, Max: 512},
+		&ManifestReq{},
+		&ManifestResp{Head: 200, Entries: []ManifestEntry{
+			{Seq: 198, Hash: bytes.Repeat([]byte{1}, 32), Tag: bytes.Repeat([]byte{2}, 32)},
+			{Seq: 199, Hash: bytes.Repeat([]byte{3}, 32), Tag: bytes.Repeat([]byte{4}, 32)},
+		}},
+		&ManifestResp{Head: -1},
+		&PollutionReport{From: e1, Key: 9, Seq: 10, Target: e2},
+		&PollutionReport{},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -361,5 +376,59 @@ func TestKadFindNodeRoundTrip(t *testing.T) {
 	empty := roundTrip(t, &KadFindNodeResp{From: caller}).(*KadFindNodeResp)
 	if empty.From != caller || len(empty.Closest) != 0 {
 		t.Fatalf("empty-table response mutated: %#v", empty)
+	}
+}
+
+// TestManifestRoundTrip pins the chunk-authentication contract on the
+// wire: manifest rows carry the exact 32-byte hash and tag (verification
+// compares them bit-for-bit), the head survives, and the piggybacked
+// manifest ad on Insert/ChunkResp rides along without disturbing the
+// pre-existing fields.
+func TestManifestRoundTrip(t *testing.T) {
+	rows := []ManifestEntry{
+		{Seq: 1000, Hash: bytes.Repeat([]byte{0x11}, 32), Tag: bytes.Repeat([]byte{0x22}, 32)},
+		{Seq: 1001, Hash: bytes.Repeat([]byte{0x33}, 32), Tag: bytes.Repeat([]byte{0x44}, 32)},
+	}
+	resp := &ManifestResp{Head: 1002, Entries: rows}
+	got := roundTrip(t, resp).(*ManifestResp)
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatalf("manifest resp mutated:\n  sent %#v\n  got  %#v", resp, got)
+	}
+	req := &ManifestReq{FromSeq: 990, Max: 512}
+	if gr := roundTrip(t, req).(*ManifestReq); *gr != *req {
+		t.Fatalf("manifest req mutated: %#v", gr)
+	}
+	// Piggybacked ad on a chunk response: old fields and new coexist.
+	cr := &ChunkResp{Seq: 9, OK: true, Data: []byte{5, 6}, LoadMilli: 300, ManifestHead: 1002, ManifestDigest: 0xDEAD}
+	gc := roundTrip(t, cr).(*ChunkResp)
+	if !reflect.DeepEqual(cr, gc) {
+		t.Fatalf("chunk resp with manifest ad mutated:\n  sent %#v\n  got  %#v", cr, gc)
+	}
+	// An oversized row count claim must be rejected before allocation.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// Bytes 4 (kind) + 8 (head): the row count lives at offset 13.
+	frame[13], frame[14], frame[15], frame[16] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+		t.Fatal("forged huge manifest row count accepted")
+	}
+}
+
+// TestPollutionReportRoundTrip pins the quarantine-gossip contract: the
+// reporter identity (transport 'from' is unreliable over TCP, so it rides
+// in-band), the polluted key/seq, and the accused provider all survive.
+func TestPollutionReportRoundTrip(t *testing.T) {
+	rep := &PollutionReport{
+		From:   Entry{ID: 5, Addr: "honest:1"},
+		Key:    0xFEEDFACE,
+		Seq:    321,
+		Target: Entry{ID: 66, Addr: "evil:2"},
+	}
+	got := roundTrip(t, rep).(*PollutionReport)
+	if *got != *rep {
+		t.Fatalf("pollution report mutated:\n  sent %#v\n  got  %#v", rep, got)
 	}
 }
